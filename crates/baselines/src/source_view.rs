@@ -1,0 +1,233 @@
+//! The source view: loss detection from collected data alone.
+//!
+//! CitySee's operators see the packets that *arrive* at the base station.
+//! A missing sequence number from an origin is a lost packet; since nodes
+//! send periodically, the send time of a lost packet can be back-dated from
+//! the arrival time of the received packet right before the gap plus the
+//! sequence distance times the period (the paper's Figure 4 methodology).
+//!
+//! This view answers "whose packets are lost, roughly when" — and nothing
+//! about where or why, which is exactly the gap REFILL fills.
+
+use eventlog::logger::LocalLog;
+use eventlog::{EventKind, PacketId, SeqNo};
+use netsim::{NodeId, SimDuration, SimTime};
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// One loss detected from the base station's data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceViewLoss {
+    /// The missing packet.
+    pub packet: PacketId,
+    /// Estimated send time, back-dated from the surrounding received
+    /// packets and the sending period.
+    pub est_time: SimTime,
+}
+
+/// The source view built from the base station's log.
+#[derive(Debug, Clone, Default)]
+pub struct SourceView {
+    /// Losses per origin, in seqno order.
+    pub losses: Vec<SourceViewLoss>,
+    /// Received `(packet, arrival local time)` pairs per origin.
+    received: FxHashMap<NodeId, Vec<(SeqNo, u64)>>,
+    period: SimDuration,
+}
+
+impl SourceView {
+    /// Build from the base station's local log (its `bs recv` entries carry
+    /// reliable timestamps) and the known application sending period.
+    pub fn from_bs_log(bs_log: &LocalLog, period: SimDuration) -> Self {
+        let mut received: FxHashMap<NodeId, Vec<(SeqNo, u64)>> = FxHashMap::default();
+        for entry in &bs_log.entries {
+            if !matches!(entry.event.kind, EventKind::BsRecv) {
+                continue;
+            }
+            let id = entry.event.packet;
+            received
+                .entry(id.origin)
+                .or_default()
+                .push((id.seqno, entry.local_ts.unwrap_or(0)));
+        }
+        for v in received.values_mut() {
+            v.sort_unstable();
+            v.dedup_by_key(|(s, _)| *s);
+        }
+
+        let mut losses = Vec::new();
+        let mut origins: Vec<NodeId> = received.keys().copied().collect();
+        origins.sort_unstable();
+        for origin in origins {
+            let seqs = &received[&origin];
+            // Leading gap: seqnos before the first received one.
+            if let Some(&(first, t_first)) = seqs.first() {
+                for missing in 0..first {
+                    let back = u64::from(first - missing) * period.as_micros();
+                    let est = t_first.saturating_sub(back);
+                    losses.push(SourceViewLoss {
+                        packet: PacketId::new(origin, missing),
+                        est_time: SimTime::from_micros(est),
+                    });
+                }
+            }
+            // Interior gaps.
+            for w in seqs.windows(2) {
+                let (prev, t_prev) = w[0];
+                let (next, _) = w[1];
+                for missing in prev + 1..next {
+                    let est = t_prev + u64::from(missing - prev) * period.as_micros();
+                    losses.push(SourceViewLoss {
+                        packet: PacketId::new(origin, missing),
+                        est_time: SimTime::from_micros(est),
+                    });
+                }
+            }
+        }
+        losses.sort_unstable_by_key(|l| l.packet);
+        SourceView {
+            losses,
+            received,
+            period,
+        }
+    }
+
+    /// True if the base station received `packet`.
+    pub fn received(&self, packet: PacketId) -> bool {
+        self.received
+            .get(&packet.origin)
+            .is_some_and(|v| v.binary_search_by_key(&packet.seqno, |&(s, _)| s).is_ok())
+    }
+
+    /// Estimated send time of any packet from `origin` with `seqno`,
+    /// interpolated from its neighbors (useful for packets the gap scan did
+    /// not flag, e.g. trailing losses known from other evidence).
+    pub fn estimate_time(&self, packet: PacketId) -> Option<SimTime> {
+        if let Some(v) = self.received.get(&packet.origin) {
+            match v.binary_search_by_key(&packet.seqno, |&(s, _)| s) {
+                Ok(i) => return Some(SimTime::from_micros(v[i].1)),
+                Err(pos) => {
+                    if pos > 0 {
+                        let (s, t) = v[pos - 1];
+                        let est =
+                            t + u64::from(packet.seqno - s) * self.period.as_micros();
+                        return Some(SimTime::from_micros(est));
+                    }
+                    if let Some(&(s, t)) = v.first() {
+                        let back = u64::from(s - packet.seqno) * self.period.as_micros();
+                        return Some(SimTime::from_micros(t.saturating_sub(back)));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Loss counts per origin node — the Figure 4 y-axis data.
+    pub fn losses_by_origin(&self) -> FxHashMap<NodeId, usize> {
+        let mut out = FxHashMap::default();
+        for l in &self.losses {
+            *out.entry(l.packet.origin).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventlog::event::BASE_STATION;
+    use eventlog::logger::LogEntry;
+    use eventlog::Event;
+
+    fn bs_log(entries: &[(u16, u32, u64)]) -> LocalLog {
+        LocalLog {
+            node: BASE_STATION,
+            entries: entries
+                .iter()
+                .map(|&(origin, seq, ts)| LogEntry {
+                    event: Event::new(
+                        BASE_STATION,
+                        EventKind::BsRecv,
+                        PacketId::new(NodeId(origin), seq),
+                    ),
+                    local_ts: Some(ts),
+                })
+                .collect(),
+        }
+    }
+
+    fn period() -> SimDuration {
+        SimDuration::from_secs(10)
+    }
+
+    #[test]
+    fn detects_interior_gap_with_backdated_time() {
+        // Seqnos 0,1,4 received: 2 and 3 missing.
+        let log = bs_log(&[(1, 0, 0), (1, 1, 10_000_000), (1, 4, 40_000_000)]);
+        let v = SourceView::from_bs_log(&log, period());
+        let missing: Vec<u32> = v.losses.iter().map(|l| l.packet.seqno).collect();
+        assert_eq!(missing, vec![2, 3]);
+        assert_eq!(v.losses[0].est_time, SimTime::from_secs(20));
+        assert_eq!(v.losses[1].est_time, SimTime::from_secs(30));
+    }
+
+    #[test]
+    fn detects_leading_gap() {
+        let log = bs_log(&[(1, 2, 25_000_000)]);
+        let v = SourceView::from_bs_log(&log, period());
+        let missing: Vec<u32> = v.losses.iter().map(|l| l.packet.seqno).collect();
+        assert_eq!(missing, vec![0, 1]);
+        assert_eq!(v.losses[0].est_time, SimTime::from_secs(5));
+        assert_eq!(v.losses[1].est_time, SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn no_gaps_no_losses() {
+        let log = bs_log(&[(1, 0, 0), (1, 1, 10_000_000), (2, 0, 5_000_000)]);
+        let v = SourceView::from_bs_log(&log, period());
+        assert!(v.losses.is_empty());
+        assert!(v.received(PacketId::new(NodeId(1), 1)));
+        assert!(!v.received(PacketId::new(NodeId(1), 2)));
+    }
+
+    #[test]
+    fn estimate_time_interpolates_and_extrapolates() {
+        let log = bs_log(&[(1, 1, 10_000_000), (1, 3, 30_000_000)]);
+        let v = SourceView::from_bs_log(&log, period());
+        // Received packet: exact arrival time.
+        assert_eq!(
+            v.estimate_time(PacketId::new(NodeId(1), 1)),
+            Some(SimTime::from_secs(10))
+        );
+        // Gap packet: previous + distance × period.
+        assert_eq!(
+            v.estimate_time(PacketId::new(NodeId(1), 2)),
+            Some(SimTime::from_secs(20))
+        );
+        // Trailing packet (never flagged as a loss, but estimable).
+        assert_eq!(
+            v.estimate_time(PacketId::new(NodeId(1), 5)),
+            Some(SimTime::from_secs(50))
+        );
+        // Unknown origin: no estimate.
+        assert_eq!(v.estimate_time(PacketId::new(NodeId(9), 0)), None);
+    }
+
+    #[test]
+    fn losses_grouped_by_origin() {
+        let log = bs_log(&[(1, 0, 0), (1, 3, 30_000_000), (2, 0, 0), (2, 2, 20_000_000)]);
+        let v = SourceView::from_bs_log(&log, period());
+        let by = v.losses_by_origin();
+        assert_eq!(by[&NodeId(1)], 2);
+        assert_eq!(by[&NodeId(2)], 1);
+    }
+
+    #[test]
+    fn duplicate_bs_records_are_deduped() {
+        let log = bs_log(&[(1, 0, 0), (1, 0, 1_000_000), (1, 2, 20_000_000)]);
+        let v = SourceView::from_bs_log(&log, period());
+        let missing: Vec<u32> = v.losses.iter().map(|l| l.packet.seqno).collect();
+        assert_eq!(missing, vec![1]);
+    }
+}

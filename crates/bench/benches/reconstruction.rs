@@ -1,0 +1,82 @@
+//! End-to-end reconstruction benchmarks on a simulated campaign: merge,
+//! sequential vs rayon vs crossbeam drivers, and diagnosis.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use citysee::{run_scenario, Scenario};
+use eventlog::merge_logs;
+use refill::diagnose::Diagnoser;
+use refill::parallel::{reconstruct_crossbeam, reconstruct_rayon};
+use refill::trace::{CtpVocabulary, Reconstructor};
+
+fn bench_scenario() -> Scenario {
+    Scenario {
+        days: 3,
+        ..Scenario::small()
+    }
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let campaign = run_scenario(&bench_scenario());
+    let total: usize = campaign.collected.iter().map(|l| l.len()).sum();
+    let mut group = c.benchmark_group("merge");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(total as u64));
+    group.bench_function("k_way_merge", |b| {
+        b.iter(|| black_box(merge_logs(&campaign.collected)))
+    });
+    group.finish();
+}
+
+fn bench_reconstruct_drivers(c: &mut Criterion) {
+    let campaign = run_scenario(&bench_scenario());
+    let recon = Reconstructor::new(CtpVocabulary::citysee()).with_sink(campaign.topology.sink());
+    let packets = campaign.merged.packet_ids().len() as u64;
+
+    let mut group = c.benchmark_group("reconstruct_drivers");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(packets));
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(recon.reconstruct_log(&campaign.merged)))
+    });
+    group.bench_function("rayon", |b| {
+        b.iter(|| black_box(reconstruct_rayon(&recon, &campaign.merged)))
+    });
+    for workers in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("crossbeam", workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| black_box(reconstruct_crossbeam(&recon, &campaign.merged, w)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_diagnose(c: &mut Criterion) {
+    let campaign = run_scenario(&bench_scenario());
+    let recon = Reconstructor::new(CtpVocabulary::citysee()).with_sink(campaign.topology.sink());
+    let reports = recon.reconstruct_log(&campaign.merged);
+    let diagnoser = Diagnoser::new().with_sink(campaign.topology.sink());
+    let mut group = c.benchmark_group("diagnose");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(reports.len() as u64));
+    group.bench_function("classify_all", |b| {
+        b.iter(|| {
+            black_box(
+                reports
+                    .iter()
+                    .filter(|r| diagnoser.diagnose(r, None).delivered)
+                    .count(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_merge, bench_reconstruct_drivers, bench_diagnose);
+criterion_main!(benches);

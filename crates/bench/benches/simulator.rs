@@ -1,0 +1,110 @@
+//! Simulator substrate benchmarks: scheduler throughput, link-table
+//! construction, routing convergence, and full campaign-days per second.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netsim::link::{LinkModel, LinkModelConfig, NoModulation};
+use netsim::topology::Layout;
+use netsim::{RngFactory, Scheduler, SimTime, Topology};
+use protocols::ctp::{true_path_costs, RoutingState};
+use protocols::schedule::FaultSchedule;
+use protocols::sim::Simulator;
+use protocols::SimConfig;
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheduler");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [1_000u64, 100_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = Scheduler::new();
+                // Interleaved schedule/pop pattern typical of the simulator.
+                for i in 0..n {
+                    s.schedule(SimTime::from_micros(i * 7 % 1000 + i), i);
+                    if i % 2 == 0 {
+                        black_box(s.pop());
+                    }
+                }
+                while black_box(s.pop()).is_some() {}
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_link_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("link_table_build");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for n in [100usize, 300, 1200] {
+        let factory = RngFactory::new(5);
+        let side = 45.0 * (n as f64).sqrt();
+        let topo = Topology::generate(n, side, Layout::JitteredGrid, &factory);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
+            b.iter(|| {
+                black_box(LinkModel::build_table(
+                    topo,
+                    &LinkModelConfig::default(),
+                    &factory,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for n in [100usize, 300] {
+        let factory = RngFactory::new(5);
+        let side = 45.0 * (n as f64).sqrt();
+        let topo = Topology::generate(n, side, Layout::JitteredGrid, &factory);
+        let table = LinkModel::build_table(&topo, &LinkModelConfig::default(), &factory);
+        let links = LinkModel::new(table, Box::new(NoModulation));
+        group.bench_with_input(BenchmarkId::new("dijkstra", n), &n, |b, _| {
+            b.iter(|| black_box(true_path_costs(&topo, &links, SimTime::ZERO)));
+        });
+        group.bench_with_input(BenchmarkId::new("converge", n), &n, |b, _| {
+            b.iter(|| black_box(RoutingState::converged(&topo, &links, SimTime::ZERO)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_campaign");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for n in [60usize, 150] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let factory = RngFactory::new(5);
+                let side = 45.0 * (n as f64).sqrt();
+                let topo = Topology::generate(n, side, Layout::JitteredGrid, &factory);
+                let table = LinkModel::build_table(&topo, &LinkModelConfig::default(), &factory);
+                let config = SimConfig {
+                    duration: SimTime::from_secs(120),
+                    ..SimConfig::default()
+                };
+                let sim = Simulator::new(topo, table, FaultSchedule::default(), config);
+                black_box(sim.run().truth.events.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scheduler,
+    bench_link_table,
+    bench_routing,
+    bench_full_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Ablation study: what each piece of REFILL contributes.
+//!
+//! DESIGN.md calls out the two derived mechanisms — *intra-node jump
+//! transitions* and *inter-node prerequisite rules* — as the paper's core
+//! contributions over a plain per-node FSM replay. This binary re-analyzes
+//! one campaign with each mechanism disabled and reports the damage, plus
+//! the Wit merge outcome (Section VI's motivating comparison).
+
+use baselines::source_view::SourceView;
+use baselines::wit::wit_merge;
+use citysee::run_scenario;
+use eventlog::{PacketId, TruthEvent};
+use netsim::SimTime;
+use rayon::prelude::*;
+use refill::diagnose::Diagnoser;
+use refill::score::{score_cause, score_flow, CauseScore, FlowScore};
+use refill::trace::{CtpVocabulary, ReconOptions, Reconstructor};
+use rustc_hash::FxHashMap;
+
+fn main() {
+    let mut scenario = bench::scenario_from_env();
+    if std::env::var("REFILL_DAYS").is_err() {
+        scenario.days = scenario.days.min(10);
+    }
+    let campaign = run_scenario(&scenario);
+    let sink = campaign.topology.sink();
+    let faults = scenario.faults();
+    let bs_log = campaign
+        .collected
+        .iter()
+        .find(|l| l.node == eventlog::event::BASE_STATION)
+        .cloned()
+        .unwrap_or_else(|| eventlog::logger::LocalLog::new(eventlog::event::BASE_STATION));
+    let source_view = SourceView::from_bs_log(&bs_log, scenario.packet_interval());
+
+    let variants = [
+        ("full REFILL", ReconOptions { intra_jumps: true, inter_rules: true }),
+        ("no inter-node rules", ReconOptions { intra_jumps: true, inter_rules: false }),
+        ("no intra-node jumps", ReconOptions { intra_jumps: false, inter_rules: true }),
+        ("plain FSM replay", ReconOptions { intra_jumps: false, inter_rules: false }),
+    ];
+
+    // Shared inputs.
+    let mut truth_by_packet: FxHashMap<PacketId, Vec<TruthEvent>> = FxHashMap::default();
+    for te in &campaign.sim.truth.events {
+        truth_by_packet.entry(te.event.packet).or_default().push(*te);
+    }
+    let groups = campaign.merged.by_packet();
+    let mut ids: Vec<PacketId> = groups.keys().copied().collect();
+    ids.sort_unstable();
+
+    let mut csv = String::from(
+        "variant,inferred,recall,precision,cause_acc,position_acc,omitted\n",
+    );
+    println!(
+        "{:<22} {:>9} {:>7} {:>9} {:>9} {:>9} {:>8}",
+        "variant", "inferred", "recall", "precision", "cause", "position", "omitted"
+    );
+    for (name, options) in variants {
+        let recon = Reconstructor::new(CtpVocabulary::citysee())
+            .with_sink(sink)
+            .with_options(options);
+        let diagnoser = Diagnoser::new()
+            .with_outages(faults.outages.clone())
+            .with_sink(sink);
+        let (flow, cause, omitted) = ids
+            .par_iter()
+            .map(|id| {
+                let report = recon.reconstruct_packet(*id, &groups[id]);
+                let fs = score_flow(
+                    &report,
+                    truth_by_packet.get(id).map(|v| v.as_slice()).unwrap_or(&[]),
+                );
+                let est: Option<SimTime> = source_view.estimate_time(*id);
+                let d = diagnoser.diagnose(&report, est);
+                let cs = campaign
+                    .sim
+                    .truth
+                    .fates
+                    .get(id)
+                    .map(|f| score_cause(&d, f))
+                    .unwrap_or_default();
+                (fs, cs, report.omitted.len())
+            })
+            .reduce(
+                || (FlowScore::default(), CauseScore::default(), 0usize),
+                |mut a, b| {
+                    a.0.merge(&b.0);
+                    a.1.merge(&b.1);
+                    a.2 += b.2;
+                    a
+                },
+            );
+        println!(
+            "{:<22} {:>9} {:>7.3} {:>9.3} {:>9.3} {:>9.3} {:>8}",
+            name,
+            flow.inferred,
+            flow.recall(),
+            flow.precision(),
+            cause.cause_accuracy(),
+            cause.position_accuracy(),
+            omitted,
+        );
+        csv.push_str(&format!(
+            "{name},{},{:.4},{:.4},{:.4},{:.4},{}\n",
+            flow.inferred,
+            flow.recall(),
+            flow.precision(),
+            cause.cause_accuracy(),
+            cause.position_accuracy(),
+            omitted,
+        ));
+    }
+    bench::write_artifact("ablation.csv", &csv);
+
+    // Wit comparison (Section VI): local logs share no common events.
+    let wit = wit_merge(&campaign.collected);
+    println!(
+        "\nWit-style merge: {} logs → {} components ({} mergeable pairs) — \
+         local logs cannot be combined by common events",
+        wit.log_count,
+        wit.components.len(),
+        wit.merged_pair_fraction()
+    );
+}

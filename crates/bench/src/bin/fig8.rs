@@ -1,0 +1,64 @@
+//! Regenerates **Figure 8**: the spatial distribution of *received* losses
+//! (bubble size = loss count, triangle = sink). The paper's point: the sink
+//! has by far the largest bubble — packets died *after* reaching it.
+
+use citysee::figures::{fig8_spatial_received, render_fig8_csv};
+
+fn main() {
+    let (campaign, analysis) = bench::run_and_analyze();
+    let points = fig8_spatial_received(&campaign, &analysis);
+    bench::write_artifact("fig8_spatial_received.csv", &render_fig8_csv(&points));
+
+    let mut ranked: Vec<&citysee::figures::SpatialPoint> =
+        points.iter().filter(|p| p.received_losses > 0).collect();
+    ranked.sort_by_key(|p| std::cmp::Reverse(p.received_losses));
+    let total: usize = ranked.iter().map(|p| p.received_losses).sum();
+    println!("Figure 8 — received losses by position (top 10 of {} affected nodes):", ranked.len());
+    for p in ranked.iter().take(10) {
+        println!(
+            "  node {:>4} at ({:>6.0},{:>6.0}): {:>5} ({:4.1}%){}",
+            p.node.0,
+            p.x,
+            p.y,
+            p.received_losses,
+            100.0 * p.received_losses as f64 / total.max(1) as f64,
+            if p.is_sink { "  <- sink (triangle)" } else { "" }
+        );
+    }
+
+    // Coarse ASCII map: 12×12 grid of loss densities, sink marked.
+    let side = campaign.topology.side_m();
+    const G: usize = 12;
+    let mut grid = [[0usize; G]; G];
+    let mut sink_cell = (0usize, 0usize);
+    for p in &points {
+        let gx = ((p.x / side) * G as f64).clamp(0.0, (G - 1) as f64) as usize;
+        let gy = ((p.y / side) * G as f64).clamp(0.0, (G - 1) as f64) as usize;
+        grid[gy][gx] += p.received_losses;
+        if p.is_sink {
+            sink_cell = (gy, gx);
+        }
+    }
+    let max = grid.iter().flatten().max().copied().unwrap_or(1).max(1);
+    println!("\nspatial density map (darker = more received losses, ▲ = sink):");
+    for (y, row) in grid.iter().enumerate() {
+        let line: String = row
+            .iter()
+            .enumerate()
+            .map(|(x, &c)| {
+                if (y, x) == sink_cell {
+                    '▲'
+                } else {
+                    match c * 8 / max {
+                        0 if c == 0 => '·',
+                        0 => '░',
+                        1..=2 => '▒',
+                        3..=5 => '▓',
+                        _ => '█',
+                    }
+                }
+            })
+            .collect();
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Campaign execution: simulate, collect lossily, merge.
+
+use crate::scenario::Scenario;
+use eventlog::collect::LossyCollector;
+use eventlog::event::BASE_STATION;
+use eventlog::logger::LocalLog;
+use eventlog::merge::{merge_logs, MergedLog};
+use netsim::{RngFactory, Topology};
+use protocols::sim::{SimOutput, Simulator};
+
+/// A completed campaign: the simulation output plus the (lossily) collected
+/// and merged logs the analysis side actually gets to see.
+pub struct Campaign {
+    /// The scenario that produced this campaign.
+    pub scenario: Scenario,
+    /// The deployment.
+    pub topology: Topology,
+    /// Simulation output (includes ground truth — the analysis must not
+    /// peek except for scoring).
+    pub sim: SimOutput,
+    /// Logs after in-network collection loss (base station log last,
+    /// always intact — it lives on the server).
+    pub collected: Vec<LocalLog>,
+    /// The merged event stream fed to REFILL.
+    pub merged: MergedLog,
+}
+
+/// Run a scenario end to end.
+pub fn run_scenario(scenario: &Scenario) -> Campaign {
+    let (topology, table, faults, config) = scenario.build();
+    let sim = Simulator::new(topology.clone(), table, faults, config).run();
+
+    // Collection: node logs suffer loss; the base station's log is local to
+    // the server and survives intact.
+    let collector = LossyCollector::new(scenario.collection);
+    let factory = RngFactory::new(scenario.seed ^ 0xC0111EC7);
+    let mut node_logs: Vec<LocalLog> = Vec::new();
+    let mut bs_log = None;
+    for log in &sim.logs {
+        if log.node == BASE_STATION {
+            bs_log = Some(log.clone());
+        } else {
+            node_logs.push(log.clone());
+        }
+    }
+    let mut collected = collector.collect_all(&node_logs, &factory);
+    if let Some(bs) = bs_log {
+        collected.push(bs);
+    }
+    let merged = merge_logs(&collected);
+
+    Campaign {
+        scenario: scenario.clone(),
+        topology,
+        sim,
+        collected,
+        merged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventlog::EventKind;
+
+    fn campaign() -> Campaign {
+        run_scenario(&Scenario::small())
+    }
+
+    #[test]
+    fn campaign_produces_traffic_and_logs() {
+        let c = campaign();
+        assert!(c.sim.counters.get("generated") > 100);
+        assert!(!c.merged.is_empty());
+        // The base station log survived collection.
+        assert!(c
+            .collected
+            .iter()
+            .any(|l| l.node == BASE_STATION && !l.is_empty()));
+    }
+
+    #[test]
+    fn collection_loses_some_events() {
+        let c = campaign();
+        let truth_loggable = c.sim.truth.events.len();
+        let collected: usize = c.collected.iter().map(|l| l.len()).sum();
+        assert!(
+            collected < truth_loggable,
+            "collection should be lossy: {collected} vs {truth_loggable}"
+        );
+        assert!(
+            collected > truth_loggable / 4,
+            "but most events should survive: {collected} vs {truth_loggable}"
+        );
+    }
+
+    #[test]
+    fn losses_have_multiple_causes() {
+        let c = campaign();
+        let by_cause = c.sim.truth.losses_by_cause();
+        assert!(
+            by_cause.len() >= 2,
+            "scenario should produce a mix of causes: {by_cause:?}"
+        );
+    }
+
+    #[test]
+    fn most_packets_delivered() {
+        let c = campaign();
+        let ratio = c.sim.truth.delivery_ratio();
+        assert!(
+            ratio > 0.6 && ratio < 1.0,
+            "expected substantial-but-imperfect delivery, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn merged_log_covers_most_packets() {
+        let c = campaign();
+        let seen = c.merged.packet_ids().len();
+        let generated = c.sim.truth.packet_count();
+        assert!(
+            seen * 10 >= generated * 8,
+            "merged log should mention most packets: {seen}/{generated}"
+        );
+    }
+
+    #[test]
+    fn bs_entries_match_delivered_count() {
+        let c = campaign();
+        let bs_events = c
+            .merged
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::BsRecv))
+            .count();
+        assert_eq!(bs_events as u64, c.sim.counters.get("delivered"));
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let a = campaign();
+        let b = campaign();
+        assert_eq!(a.merged.events, b.merged.events);
+        assert_eq!(a.sim.counters, b.sim.counters);
+    }
+}

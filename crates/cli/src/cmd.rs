@@ -1,0 +1,364 @@
+//! Subcommand implementations and minimal flag parsing.
+
+use citysee::figures::{fig9_breakdown, render_fig9_ascii};
+use citysee::{analyze as analyze_campaign, run_scenario, Scenario};
+use eventlog::archive;
+use eventlog::event::BASE_STATION;
+use eventlog::{merge_logs, PacketId};
+use netsim::{NodeId, SimDuration};
+use refill::diagnose::{Diagnoser, PositionBreakdown};
+use refill::trace::{CtpVocabulary, Reconstructor};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+refill — reconstruct network behavior from individual, lossy logs
+
+USAGE:
+  refill simulate [--scale small|standard|paper] [--seed N] [--out DIR]
+  refill analyze  --logs DIR_OR_FILE [--sink N] [--period SECS]
+  refill trace    --logs DIR_OR_FILE --packet ORIGIN:SEQNO [--sink N] [--dot]
+  refill report   [--scale small|standard|paper] [--seed N]
+  refill help";
+
+/// Tiny flag parser: `--key value` pairs plus boolean `--key` switches.
+struct Flags {
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String], switch_names: &[&str]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut switches = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument '{a}'"));
+            };
+            if switch_names.contains(&name) {
+                switches.push(name.to_owned());
+            } else {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                pairs.push((name.to_owned(), v.clone()));
+            }
+        }
+        Ok(Flags { pairs, switches })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn parse_packet(spec: &str) -> Result<PacketId, String> {
+    let (o, s) = spec
+        .split_once(':')
+        .ok_or("packet must be ORIGIN:SEQNO, e.g. 17:4")?;
+    let origin: u16 = o.parse().map_err(|_| "bad origin id")?;
+    let seqno: u32 = s.parse().map_err(|_| "bad seqno")?;
+    Ok(PacketId::new(NodeId(origin), seqno))
+}
+
+/// `refill simulate`.
+pub fn simulate(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let mut scenario = match flags.get("scale").unwrap_or("small") {
+        "small" => Scenario::small(),
+        "standard" => Scenario::standard(),
+        "paper" => Scenario::paper(),
+        other => return Err(format!("unknown scale '{other}'")),
+    };
+    if let Some(seed) = flags.get("seed") {
+        scenario.seed = seed.parse().map_err(|_| "bad seed")?;
+    }
+    let out = PathBuf::from(flags.get("out").unwrap_or("refill-run"));
+    std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "simulating '{}' ({} nodes, {} days, seed {})…",
+        scenario.name, scenario.nodes, scenario.days, scenario.seed
+    );
+    let campaign = run_scenario(&scenario);
+
+    // Archive the collected logs.
+    let logs_path = out.join("logs.jsonl");
+    let f = File::create(&logs_path).map_err(|e| e.to_string())?;
+    archive::write_logs(&campaign.collected, BufWriter::new(f)).map_err(|e| e.to_string())?;
+
+    // Scenario (for reproducibility) and a truth summary (for reference).
+    std::fs::write(
+        out.join("scenario.json"),
+        serde_json::to_string_pretty(&scenario).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    let summary = serde_json::json!({
+        "generated": campaign.sim.truth.packet_count(),
+        "delivered": campaign.sim.counters.get("delivered"),
+        "delivery_ratio": campaign.sim.truth.delivery_ratio(),
+        "losses_by_cause": campaign
+            .sim
+            .truth
+            .losses_by_cause()
+            .into_iter()
+            .map(|(k, v)| (k.label().to_owned(), v))
+            .collect::<std::collections::BTreeMap<_, _>>(),
+        "sink": campaign.topology.sink().0,
+        "packet_period_secs": scenario.packet_interval().as_secs(),
+    });
+    std::fs::write(
+        out.join("truth_summary.json"),
+        serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+
+    println!(
+        "wrote {} ({} log entries from {} nodes), scenario.json, truth_summary.json",
+        logs_path.display(),
+        campaign.collected.iter().map(|l| l.len()).sum::<usize>(),
+        campaign.collected.len(),
+    );
+    println!(
+        "next: refill analyze --logs {} --sink {} --period {}",
+        logs_path.display(),
+        campaign.topology.sink().0,
+        scenario.packet_interval().as_secs()
+    );
+
+    // Also run the built-in analysis so the user sees the headline.
+    let analysis = analyze_campaign(&campaign);
+    println!();
+    print!("{}", render_fig9_ascii(&fig9_breakdown(&campaign, &analysis)));
+    Ok(())
+}
+
+fn read_archive(path: &str) -> Result<Vec<eventlog::logger::LocalLog>, String> {
+    let p = Path::new(path);
+    let file = if p.is_dir() { p.join("logs.jsonl") } else { p.to_path_buf() };
+    let f = File::open(&file).map_err(|e| format!("{}: {e}", file.display()))?;
+    archive::read_logs(BufReader::new(f)).map_err(|e| e.to_string())
+}
+
+fn build_reconstructor(flags: &Flags) -> Result<(Reconstructor, Option<NodeId>), String> {
+    let sink = match flags.get("sink") {
+        Some(s) => Some(NodeId(s.parse().map_err(|_| "bad sink id")?)),
+        None => None,
+    };
+    let mut recon = Reconstructor::new(CtpVocabulary::citysee());
+    if let Some(s) = sink {
+        recon = recon.with_sink(s);
+    }
+    Ok((recon, sink))
+}
+
+/// `refill report`: simulate a scenario and print the full management
+/// report (includes ground-truth scoring, so it is simulation-only).
+pub fn report(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let mut scenario = match flags.get("scale").unwrap_or("small") {
+        "small" => Scenario::small(),
+        "standard" => Scenario::standard(),
+        "paper" => Scenario::paper(),
+        other => return Err(format!("unknown scale '{other}'")),
+    };
+    if let Some(seed) = flags.get("seed") {
+        scenario.seed = seed.parse().map_err(|_| "bad seed")?;
+    }
+    eprintln!("simulating and analyzing '{}'…", scenario.name);
+    let campaign = run_scenario(&scenario);
+    let analysis = analyze_campaign(&campaign);
+    print!("{}", citysee::render_management_report(&campaign, &analysis));
+    Ok(())
+}
+
+/// `refill analyze`.
+pub fn analyze_cmd_inner(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args, &[])?;
+    let logs = read_archive(flags.get("logs").ok_or("--logs is required")?)?;
+    let (recon, sink) = build_reconstructor(&flags)?;
+    let period: u64 = flags
+        .get("period")
+        .map(|p| p.parse().map_err(|_| "bad period"))
+        .transpose()?
+        .unwrap_or(30);
+
+    let merged = merge_logs(&logs);
+    let reports = refill::parallel::reconstruct_rayon(&recon, &merged);
+
+    // Source view (if the archive has a base-station log).
+    let bs = logs
+        .iter()
+        .find(|l| l.node == BASE_STATION)
+        .cloned()
+        .unwrap_or_else(|| eventlog::logger::LocalLog::new(BASE_STATION));
+    let source_view =
+        baselines::source_view::SourceView::from_bs_log(&bs, SimDuration::from_secs(period));
+
+    let diagnoser = Diagnoser::new();
+    let diagnoser = match sink {
+        Some(s) => diagnoser.with_sink(s),
+        None => diagnoser,
+    };
+    let diagnoses: Vec<_> = reports
+        .iter()
+        .map(|r| diagnoser.diagnose(r, source_view.estimate_time(r.packet)))
+        .collect();
+
+    use refill::diagnose::CauseBreakdown;
+    let breakdown = CauseBreakdown::from_diagnoses(diagnoses.iter());
+    let positions = PositionBreakdown::from_diagnoses(diagnoses.iter());
+
+    let mut out = String::new();
+    use std::fmt::Write;
+    let _ = writeln!(
+        out,
+        "{} packets reconstructed from {} nodes' logs ({} events)",
+        reports.len(),
+        logs.len(),
+        merged.len()
+    );
+    let _ = writeln!(
+        out,
+        "delivered: {} | lost: {}",
+        breakdown.delivered_total, breakdown.lost_total
+    );
+    let _ = writeln!(out, "\nloss causes:");
+    for cause in citysee::figures::CAUSE_ORDER {
+        let pct = breakdown.percent(cause);
+        if pct > 0.0 {
+            let _ = writeln!(out, "  {:>14}: {:5.1}%", cause.label(), pct);
+        }
+    }
+    let _ = writeln!(out, "\ntop loss positions:");
+    for (node, count) in positions.hotspots().into_iter().take(8) {
+        let mark = if Some(node) == sink { "  <- sink" } else { "" };
+        let _ = writeln!(out, "  {node}: {count}{mark}");
+    }
+    let loops = reports.iter().filter(|r| r.has_routing_loop()).count();
+    let inferred: usize = reports.iter().map(|r| r.flow.inferred_count()).sum();
+    let _ = writeln!(
+        out,
+        "\nrouting loops detected: {loops} | lost events inferred: {inferred}"
+    );
+    Ok(out)
+}
+
+/// `refill analyze`, printing.
+pub fn analyze(args: &[String]) -> Result<(), String> {
+    print!("{}", analyze_cmd_inner(args)?);
+    Ok(())
+}
+
+/// `refill trace`.
+pub fn trace(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["dot"])?;
+    let logs = read_archive(flags.get("logs").ok_or("--logs is required")?)?;
+    let packet = parse_packet(flags.get("packet").ok_or("--packet is required")?)?;
+    let (recon, _) = build_reconstructor(&flags)?;
+
+    let merged = merge_logs(&logs);
+    let groups = merged.by_packet();
+    let events = groups
+        .get(&packet)
+        .ok_or_else(|| format!("no events for packet {packet} in the archive"))?;
+    let report = recon.reconstruct_packet(packet, events);
+
+    if flags.has("dot") {
+        print!("{}", report.flow.to_dot());
+        return Ok(());
+    }
+    println!("packet {packet}");
+    println!(
+        "  path : {}",
+        report
+            .path
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    );
+    println!("  flow : {}", report.flow);
+    println!(
+        "  {} observed, {} inferred, {} omitted, delivered: {}",
+        report.flow.observed_count(),
+        report.flow.inferred_count(),
+        report.omitted.len(),
+        report.delivered,
+    );
+    let diag = Diagnoser::new().diagnose(&report, None);
+    if let Some(cause) = diag.cause {
+        println!(
+            "  verdict: {} at {}",
+            cause.label(),
+            diag.loss_node.map(|n| n.to_string()).unwrap_or_default()
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_parse_pairs_and_switches() {
+        let f = Flags::parse(&args(&["--logs", "x", "--dot", "--sink", "0"]), &["dot"]).unwrap();
+        assert_eq!(f.get("logs"), Some("x"));
+        assert_eq!(f.get("sink"), Some("0"));
+        assert!(f.has("dot"));
+        assert!(!f.has("quiet"));
+    }
+
+    #[test]
+    fn flags_reject_stray_args() {
+        assert!(Flags::parse(&args(&["oops"]), &[]).is_err());
+        assert!(Flags::parse(&args(&["--logs"]), &[]).is_err());
+    }
+
+    #[test]
+    fn packet_spec_parses() {
+        let p = parse_packet("17:4").unwrap();
+        assert_eq!(p.origin, NodeId(17));
+        assert_eq!(p.seqno, 4);
+        assert!(parse_packet("17").is_err());
+        assert!(parse_packet("a:b").is_err());
+    }
+
+    #[test]
+    fn simulate_then_analyze_roundtrip() {
+        let dir = std::env::temp_dir().join("refill-cli-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        simulate(&args(&["--scale", "small", "--out", dir.to_str().unwrap()])).unwrap();
+        assert!(dir.join("logs.jsonl").is_file());
+        assert!(dir.join("scenario.json").is_file());
+        assert!(dir.join("truth_summary.json").is_file());
+        let report = analyze_cmd_inner(&args(&[
+            "--logs",
+            dir.to_str().unwrap(),
+            "--sink",
+            "0",
+            "--period",
+            "20",
+        ]))
+        .unwrap();
+        assert!(report.contains("loss causes:"));
+        assert!(report.contains("top loss positions:"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,51 @@
+//! `refill` — the command-line interface.
+//!
+//! ```text
+//! refill simulate [--scale small|standard|paper] [--seed N] [--out DIR]
+//!     Run a CitySee-like campaign and archive the collected logs
+//!     (logs.jsonl), the scenario (scenario.json) and a truth summary.
+//!
+//! refill analyze --logs DIR_OR_FILE [--sink N] [--period SECS]
+//!     Merge an archive, reconstruct every packet, print the loss-cause
+//!     breakdown, hotspots and transport statistics.
+//!
+//! refill trace --logs DIR_OR_FILE --packet ORIGIN:SEQNO [--sink N] [--dot]
+//!     Print one packet's reconstructed event flow (optionally as
+//!     Graphviz DOT).
+//! ```
+//!
+//! The archive format is the `eventlog::archive` JSON-lines format, so logs
+//! produced by any recorder — not just the bundled simulator — can be
+//! analyzed.
+
+use std::process::ExitCode;
+
+mod cmd;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        eprintln!("{}", cmd::USAGE);
+        return ExitCode::from(2);
+    };
+    let rest: Vec<String> = it.cloned().collect();
+    let result = match cmd.as_str() {
+        "simulate" => cmd::simulate(&rest),
+        "analyze" => cmd::analyze(&rest),
+        "trace" => cmd::trace(&rest),
+        "report" => cmd::report(&rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", cmd::USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{}", cmd::USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

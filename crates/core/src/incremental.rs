@@ -1,0 +1,204 @@
+//! Incremental reconstruction: analyze logs as they trickle in.
+//!
+//! Real log collection is not a batch job — node logs arrive over hours or
+//! days (and some never arrive). [`IncrementalReconstructor`] accumulates
+//! per-node log batches, tracks which packets gained evidence, and
+//! recomputes only those packets' flows on [`IncrementalReconstructor::refresh`].
+//! The result is always identical to a from-scratch reconstruction over
+//! everything ingested so far (tested), because per-packet reconstruction
+//! depends only on that packet's own events.
+//!
+//! The one contract: batches from the same node must be ingested in that
+//! node's recording order (which is how collection delivers them — a log is
+//! read front to back).
+
+use crate::trace::{PacketReport, Reconstructor};
+use eventlog::logger::LocalLog;
+use eventlog::{Event, PacketId};
+use rayon::prelude::*;
+use rustc_hash::{FxHashMap, FxHashSet};
+
+/// Accumulates logs and keeps per-packet reports up to date.
+pub struct IncrementalReconstructor {
+    recon: Reconstructor,
+    /// Per-packet events in ingestion order (per-node subsequences are in
+    /// recording order by the ingestion contract).
+    events: FxHashMap<PacketId, Vec<Event>>,
+    dirty: FxHashSet<PacketId>,
+    reports: FxHashMap<PacketId, PacketReport>,
+}
+
+impl IncrementalReconstructor {
+    /// Wrap a configured [`Reconstructor`].
+    pub fn new(recon: Reconstructor) -> Self {
+        IncrementalReconstructor {
+            recon,
+            events: FxHashMap::default(),
+            dirty: FxHashSet::default(),
+            reports: FxHashMap::default(),
+        }
+    }
+
+    /// Ingest one node's log batch (entries in recording order).
+    pub fn ingest_log(&mut self, log: &LocalLog) {
+        for e in log.events() {
+            self.events.entry(e.packet).or_default().push(*e);
+            self.dirty.insert(e.packet);
+        }
+    }
+
+    /// Ingest a batch of events (per-node order must be preserved by the
+    /// caller).
+    pub fn ingest_events(&mut self, events: impl IntoIterator<Item = Event>) {
+        for e in events {
+            self.events.entry(e.packet).or_default().push(e);
+            self.dirty.insert(e.packet);
+        }
+    }
+
+    /// Packets with new evidence since the last refresh.
+    pub fn pending(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// Recompute the flows of every packet that gained evidence; returns
+    /// the updated packet ids (sorted).
+    pub fn refresh(&mut self) -> Vec<PacketId> {
+        let mut ids: Vec<PacketId> = self.dirty.drain().collect();
+        ids.sort_unstable();
+        let recon = &self.recon;
+        let events = &self.events;
+        let updated: Vec<(PacketId, PacketReport)> = ids
+            .par_iter()
+            .map(|id| (*id, recon.reconstruct_packet(*id, &events[id])))
+            .collect();
+        for (id, report) in updated {
+            self.reports.insert(id, report);
+        }
+        ids
+    }
+
+    /// The current report for a packet (after the last refresh).
+    pub fn report(&self, id: PacketId) -> Option<&PacketReport> {
+        self.reports.get(&id)
+    }
+
+    /// All current reports, sorted by packet id.
+    pub fn reports(&self) -> Vec<&PacketReport> {
+        let mut v: Vec<&PacketReport> = self.reports.values().collect();
+        v.sort_unstable_by_key(|r| r.packet);
+        v
+    }
+
+    /// Number of packets with reports.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// True if nothing has been reconstructed yet.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::CtpVocabulary;
+    use eventlog::{merge_logs, EventKind};
+    use netsim::NodeId;
+
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    fn chain_logs(packets: u32) -> Vec<LocalLog> {
+        let mut n1 = Vec::new();
+        let mut n2 = Vec::new();
+        let mut n3 = Vec::new();
+        for s in 0..packets {
+            let p = PacketId::new(n(1), s);
+            n1.push(Event::new(n(1), EventKind::Trans { to: n(2) }, p));
+            if s % 2 == 0 {
+                n1.push(Event::new(n(1), EventKind::AckRecvd { to: n(2) }, p));
+            }
+            if s % 3 != 0 {
+                n2.push(Event::new(n(2), EventKind::Recv { from: n(1) }, p));
+                n2.push(Event::new(n(2), EventKind::Trans { to: n(3) }, p));
+            }
+            n3.push(Event::new(n(3), EventKind::Recv { from: n(2) }, p));
+        }
+        vec![
+            LocalLog::from_events(n(1), n1),
+            LocalLog::from_events(n(2), n2),
+            LocalLog::from_events(n(3), n3),
+        ]
+    }
+
+    #[test]
+    fn incremental_equals_batch() {
+        let logs = chain_logs(12);
+        // Batch reference.
+        let recon = Reconstructor::new(CtpVocabulary::table2());
+        let merged = merge_logs(&logs);
+        let batch = recon.reconstruct_log(&merged);
+
+        // Incremental: node by node, refreshing between ingests.
+        let mut inc =
+            IncrementalReconstructor::new(Reconstructor::new(CtpVocabulary::table2()));
+        for log in &logs {
+            inc.ingest_log(log);
+            inc.refresh();
+        }
+        let incremental = inc.reports();
+        assert_eq!(batch.len(), incremental.len());
+        for (b, i) in batch.iter().zip(&incremental) {
+            assert_eq!(b.packet, i.packet);
+            assert_eq!(b.flow, i.flow, "packet {}", b.packet);
+            assert_eq!(b.path, i.path);
+        }
+    }
+
+    #[test]
+    fn refresh_only_touches_dirty_packets() {
+        let logs = chain_logs(6);
+        let mut inc =
+            IncrementalReconstructor::new(Reconstructor::new(CtpVocabulary::table2()));
+        inc.ingest_log(&logs[0]);
+        let first = inc.refresh();
+        assert_eq!(first.len(), 6, "all packets touched by node 1's log");
+        assert_eq!(inc.pending(), 0);
+
+        // A batch mentioning only packet 3.
+        let p3 = PacketId::new(n(1), 3);
+        inc.ingest_events([Event::new(n(2), EventKind::Recv { from: n(1) }, p3)]);
+        assert_eq!(inc.pending(), 1);
+        let updated = inc.refresh();
+        assert_eq!(updated, vec![p3]);
+    }
+
+    #[test]
+    fn flows_grow_as_evidence_arrives() {
+        let p = PacketId::new(n(1), 0);
+        let mut inc =
+            IncrementalReconstructor::new(Reconstructor::new(CtpVocabulary::table2()));
+        inc.ingest_events([Event::new(n(1), EventKind::Trans { to: n(2) }, p)]);
+        inc.refresh();
+        let early = inc.report(p).unwrap().flow.to_string();
+        assert_eq!(early, "1-2 trans");
+
+        inc.ingest_events([Event::new(n(3), EventKind::Recv { from: n(2) }, p)]);
+        inc.refresh();
+        let later = inc.report(p).unwrap().flow.to_string();
+        assert_eq!(later, "1-2 trans, [1-2 recv], [2-3 trans], 2-3 recv");
+    }
+
+    #[test]
+    fn empty_state_behaves() {
+        let inc = IncrementalReconstructor::new(Reconstructor::new(CtpVocabulary::table2()));
+        assert!(inc.is_empty());
+        assert_eq!(inc.len(), 0);
+        assert_eq!(inc.pending(), 0);
+        assert!(inc.report(PacketId::new(n(1), 0)).is_none());
+    }
+}

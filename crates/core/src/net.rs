@@ -1,0 +1,1039 @@
+//! Connected inference engines and the transition algorithm.
+//!
+//! Engines (instances of [`FsmTemplate`]s) are connected by **inter-node
+//! prerequisite rules** (Definition 4.1): a transition on one engine may
+//! require a *prerequisite state* on a peer engine. Processing an event
+//! therefore recursively drives peers forward — consuming their own logged
+//! events where available and synthesizing *inferred lost events* where not
+//! — before the current event is appended to the flow. This is exactly the
+//! paper's Section IV-B algorithm:
+//!
+//! 1. If a normal transition matches the current event, first satisfy its
+//!    inter-node prerequisites (recursively processing the peer's events
+//!    until the prerequisite state is reached), then transit and append the
+//!    event to the flow.
+//! 2. Otherwise, if an intra-node transition matches, the events along the
+//!    canonical normal path are lost: process each of them as an inferred
+//!    event (recursively, as in step 1), then append the current event.
+//! 3. Events with no available transition are omitted.
+//!
+//! Engines are organized into **groups** — one group per physical node in
+//! the tracing use case. A group owns a single event queue in recording
+//! order (a node's log order is the one hard guarantee of the input), even
+//! when its events belong to different engine instances (visits); the
+//! runner only ever consumes a group's front event, so the flow's per-node
+//! order always matches the log. `add_engine` puts each engine in its own
+//! fresh group, which is the right default for one-engine-per-node
+//! machines (Figure 3, custom protocols).
+//!
+//! One refinement over the paper's prose: when forcing a peer toward a
+//! prerequisite state, if the peer's next logged event would *overshoot*
+//! the prerequisite (its inferred prefix passes through the prerequisite
+//! state but its final transition goes beyond), we take only the inferred
+//! prefix and leave the logged event queued. Without this, Case 4 of
+//! Table II would interleave `2-3 trans` before `1-2 ack recvd`, which
+//! contradicts the paper's reported flow.
+
+use crate::flow::EventFlow;
+use crate::fsm::{ExecPlan, FsmTemplate, Label, StateId, TransId, Transition};
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// An engine instance in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EngineId(pub u32);
+
+impl EngineId {
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A serial event-queue group (one per physical node in the tracing use
+/// case): its events are consumed strictly in recording order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct GroupId(pub u32);
+
+impl GroupId {
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An inter-node prerequisite attached to `(engine, label)`: before a
+/// transition with that label fires, `peer` must have *visited* one of the
+/// `satisfying` states; if it has not, it is forced toward `canonical`.
+#[derive(Debug, Clone)]
+pub struct InterRule {
+    /// The peer engine holding the prerequisite state.
+    pub peer: EngineId,
+    /// Visiting any of these satisfies the prerequisite (e.g. a hardware-ack
+    /// prerequisite is satisfied by the receiver having either received or
+    /// duplicate-dropped the packet).
+    pub satisfying: Vec<StateId>,
+    /// The state to force the peer toward when unsatisfied (the canonical
+    /// interpretation, e.g. "received").
+    pub canonical: StateId,
+}
+
+/// Diagnostics emitted by a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetWarning {
+    /// A prerequisite chain looped back into an engine already being forced;
+    /// the inner requirement was skipped to guarantee termination.
+    CyclicPrerequisite {
+        /// The engine the cycle re-entered.
+        engine: EngineId,
+    },
+    /// A prerequisite could not be satisfied: the peer has moved past the
+    /// point where the canonical state was reachable.
+    Unsatisfiable {
+        /// The peer engine.
+        engine: EngineId,
+        /// The canonical state that could not be reached.
+        canonical: StateId,
+    },
+}
+
+struct Engine {
+    template: usize,
+    name: String,
+    group: GroupId,
+    state: StateId,
+    visited: Vec<bool>,
+    /// Flow index that first visited each state (None for the initial state
+    /// or states not yet visited).
+    visited_entry: Vec<Option<usize>>,
+    last_entry: Option<usize>,
+}
+
+/// The connected network of inference engines.
+///
+/// `L` is the label type of the templates; `E` is the event payload carried
+/// into the flow (an [`eventlog::Event`] in the tracing use case, anything
+/// `Clone` in tests).
+pub struct ConnectedNet<L, E> {
+    templates: Vec<FsmTemplate<L>>,
+    engines: Vec<Engine>,
+    queues: Vec<VecDeque<(EngineId, E)>>,
+    rules: FxHashMap<(EngineId, L), Vec<InterRule>>,
+}
+
+/// The result of a run.
+#[derive(Debug, Clone)]
+pub struct RunOutput<E> {
+    /// The reconstructed event flow.
+    pub flow: EventFlow<E>,
+    /// Events that had no available transition and were omitted, with the
+    /// engine they were queued on.
+    pub omitted: Vec<(EngineId, E)>,
+    /// Diagnostics.
+    pub warnings: Vec<NetWarning>,
+}
+
+impl<L: Label, E: Clone> Default for ConnectedNet<L, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<L: Label, E: Clone> ConnectedNet<L, E> {
+    /// An empty network.
+    pub fn new() -> Self {
+        ConnectedNet {
+            templates: Vec::new(),
+            engines: Vec::new(),
+            queues: Vec::new(),
+            rules: FxHashMap::default(),
+        }
+    }
+
+    /// Register a template; returns its index.
+    pub fn add_template(&mut self, t: FsmTemplate<L>) -> usize {
+        self.templates.push(t);
+        self.templates.len() - 1
+    }
+
+    /// Access a registered template.
+    pub fn template(&self, idx: usize) -> &FsmTemplate<L> {
+        &self.templates[idx]
+    }
+
+    /// Create a new (empty) serial group.
+    pub fn add_group(&mut self) -> GroupId {
+        self.queues.push(VecDeque::new());
+        GroupId(self.queues.len() as u32 - 1)
+    }
+
+    /// Create an engine instance of a registered template in its own fresh
+    /// group (the one-engine-per-node case).
+    pub fn add_engine(&mut self, template: usize, name: impl Into<String>) -> EngineId {
+        let group = self.add_group();
+        self.add_engine_in_group(template, name, group)
+    }
+
+    /// Create an engine instance inside an existing group (several visits
+    /// of one node share the node's log queue).
+    pub fn add_engine_in_group(
+        &mut self,
+        template: usize,
+        name: impl Into<String>,
+        group: GroupId,
+    ) -> EngineId {
+        let t = &self.templates[template];
+        let n = t.state_count();
+        let initial = t.initial();
+        let mut visited = vec![false; n];
+        visited[initial.0 as usize] = true;
+        self.engines.push(Engine {
+            template,
+            name: name.into(),
+            group,
+            state: initial,
+            visited,
+            visited_entry: vec![None; n],
+            last_entry: None,
+        });
+        EngineId(self.engines.len() as u32 - 1)
+    }
+
+    /// Attach an inter-node prerequisite to `(engine, label)`.
+    pub fn add_rule(&mut self, engine: EngineId, label: L, rule: InterRule) {
+        self.rules.entry((engine, label)).or_default().push(rule);
+    }
+
+    /// Queue an observed event payload for an engine, at the back of its
+    /// group's queue (i.e. in recording order of the node's log).
+    pub fn push_event(&mut self, engine: EngineId, payload: E) {
+        let group = self.engines[engine.idx()].group;
+        self.queues[group.idx()].push_back((engine, payload));
+    }
+
+    /// Number of engines.
+    pub fn engine_count(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// An engine's display name.
+    pub fn engine_name(&self, e: EngineId) -> &str {
+        &self.engines[e.idx()].name
+    }
+
+    /// An engine's group.
+    pub fn engine_group(&self, e: EngineId) -> GroupId {
+        self.engines[e.idx()].group
+    }
+
+    /// An engine's current state (meaningful after [`ConnectedNet::run`]).
+    pub fn engine_state(&self, e: EngineId) -> StateId {
+        self.engines[e.idx()].state
+    }
+
+    /// An engine's template index.
+    pub fn engine_template(&self, e: EngineId) -> usize {
+        self.engines[e.idx()].template
+    }
+
+    /// Whether the engine has visited `state`.
+    pub fn engine_visited(&self, e: EngineId, state: StateId) -> bool {
+        self.engines[e.idx()].visited[state.0 as usize]
+    }
+
+    /// Run the transition algorithm to completion.
+    ///
+    /// * `label_of` extracts the FSM label from a queued payload.
+    /// * `synthesize` builds a payload for an inferred lost event, given the
+    ///   engine and the normal transition being replayed.
+    pub fn run(
+        &mut self,
+        label_of: impl Fn(&E) -> L,
+        synthesize: impl FnMut(EngineId, &Transition<L>) -> E,
+    ) -> RunOutput<E> {
+        let group_count = self.queues.len();
+        let mut runner = Runner {
+            net: self,
+            label_of: Box::new(label_of),
+            synthesize: Box::new(synthesize),
+            flow: EventFlow::new(),
+            omitted: Vec::new(),
+            warnings: Vec::new(),
+            forcing: Vec::new(),
+            group_last_entry: vec![None; group_count],
+        };
+        runner.drive();
+        RunOutput {
+            flow: runner.flow,
+            omitted: runner.omitted,
+            warnings: runner.warnings,
+        }
+    }
+}
+
+/// Outcome of trying the front event of a group's queue.
+enum Step {
+    Consumed,
+    Blocked,
+    Empty,
+}
+
+#[allow(clippy::type_complexity)]
+struct Runner<'n, L: Label, E: Clone> {
+    net: &'n mut ConnectedNet<L, E>,
+    label_of: Box<dyn Fn(&E) -> L + 'n>,
+    synthesize: Box<dyn FnMut(EngineId, &Transition<L>) -> E + 'n>,
+    flow: EventFlow<E>,
+    omitted: Vec<(EngineId, E)>,
+    warnings: Vec<NetWarning>,
+    /// Engines currently being forced (cycle guard).
+    forcing: Vec<EngineId>,
+    /// Last flow entry per group, for the per-node-order dependency edges.
+    group_last_entry: Vec<Option<usize>>,
+}
+
+impl<'n, L: Label, E: Clone> Runner<'n, L, E> {
+    fn template_of(&self, e: EngineId) -> &FsmTemplate<L> {
+        &self.net.templates[self.net.engines[e.idx()].template]
+    }
+
+    /// Top-level drive: repeatedly process the group whose front event
+    /// belongs to the earliest engine (engines are created in chain order
+    /// by the tracer, so this walks the packet's journey hop by hop — the
+    /// paper's "start from a given node, switch to other nodes" order).
+    /// When no group's front is processable, one blocked event is omitted
+    /// (step 3 of the paper's algorithm) and driving resumes.
+    fn drive(&mut self) {
+        let n = self.net.queues.len();
+        loop {
+            // The processable front with the smallest engine id.
+            let mut pick: Option<(EngineId, GroupId)> = None;
+            for i in 0..n {
+                let g = GroupId(i as u32);
+                if let Some((engine, _)) = self.front_plan(g) {
+                    if pick.is_none_or(|(e, _)| engine < e) {
+                        pick = Some((engine, g));
+                    }
+                }
+            }
+            if let Some((_, g)) = pick {
+                let consumed = matches!(self.try_front(g), Step::Consumed);
+                debug_assert!(consumed, "picked front must be processable");
+                continue;
+            }
+            // No group can move: omit the blocked front with the smallest
+            // engine id, if any.
+            let mut blocked: Option<(EngineId, usize)> = None;
+            for (i, q) in self.net.queues.iter().enumerate() {
+                if let Some((engine, _)) = q.front() {
+                    if blocked.is_none_or(|(e, _)| *engine < e) {
+                        blocked = Some((*engine, i));
+                    }
+                }
+            }
+            match blocked {
+                Some((_, i)) => {
+                    let (engine, payload) =
+                        self.net.queues[i].pop_front().expect("blocked front exists");
+                    self.omitted.push((engine, payload));
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// The plan for a group's front event, if processable right now.
+    fn front_plan(&self, g: GroupId) -> Option<(EngineId, ExecPlan)> {
+        let (engine, payload) = self.net.queues[g.idx()].front()?;
+        let label = (self.label_of)(payload);
+        let state = self.net.engines[engine.idx()].state;
+        self.template_of(*engine)
+            .plan(state, &label)
+            .map(|plan| (*engine, plan))
+    }
+
+    fn try_front(&mut self, g: GroupId) -> Step {
+        if self.net.queues[g.idx()].is_empty() {
+            return Step::Empty;
+        }
+        let Some((engine, plan)) = self.front_plan(g) else {
+            return Step::Blocked;
+        };
+        let (_, payload) = self.net.queues[g.idx()].pop_front().expect("front exists");
+        self.exec_plan(engine, &plan, Some(payload));
+        Step::Consumed
+    }
+
+    /// Execute a plan: every step but the last is an inferred lost event;
+    /// the last carries the observed payload (when given).
+    fn exec_plan(&mut self, e: EngineId, plan: &ExecPlan, observed: Option<E>) {
+        let last_idx = plan.steps.len() - 1;
+        for (i, &tid) in plan.steps.iter().enumerate() {
+            let is_observed_step = i == last_idx && observed.is_some();
+            let payload = if is_observed_step {
+                observed.clone().expect("checked above")
+            } else {
+                let trans = self.template_of(e).transition(tid).clone();
+                (self.synthesize)(e, &trans)
+            };
+            self.advance(e, tid, payload, is_observed_step);
+        }
+    }
+
+    /// Take one normal transition on `e`: satisfy its inter-node rules, move
+    /// the state, append the flow entry.
+    fn advance(&mut self, e: EngineId, tid: TransId, payload: E, observed: bool) {
+        let trans = self.template_of(e).transition(tid).clone();
+        let mut deps = self.satisfy_rules(e, &trans.label);
+        if let Some(prev) = self.net.engines[e.idx()].last_entry {
+            deps.push(prev);
+        }
+        let group = self.net.engines[e.idx()].group;
+        // Observed entries are additionally ordered after everything their
+        // node recorded earlier — the per-node log-order constraint.
+        if observed {
+            if let Some(prev) = self.group_last_entry[group.idx()] {
+                deps.push(prev);
+            }
+        }
+        deps.sort_unstable();
+        deps.dedup();
+        let idx = self.flow.push(payload, e, observed, deps);
+        if observed {
+            self.group_last_entry[group.idx()] = Some(idx);
+        }
+        let eng = &mut self.net.engines[e.idx()];
+        eng.state = trans.to;
+        let sidx = trans.to.0 as usize;
+        if !eng.visited[sidx] {
+            eng.visited[sidx] = true;
+            eng.visited_entry[sidx] = Some(idx);
+        }
+        eng.last_entry = Some(idx);
+    }
+
+    /// Satisfy all inter-node rules for `(e, label)`; returns the flow
+    /// indices that established satisfaction (dependency edges).
+    fn satisfy_rules(&mut self, e: EngineId, label: &L) -> Vec<usize> {
+        let rules = match self.net.rules.get(&(e, label.clone())) {
+            Some(r) => r.clone(),
+            None => return Vec::new(),
+        };
+        let mut deps = Vec::new();
+        for rule in rules {
+            if self.satisfaction(&rule).is_none() {
+                self.force(&rule);
+            }
+            if let Some(Some(idx)) = self.satisfaction(&rule) {
+                deps.push(idx);
+            }
+        }
+        deps
+    }
+
+    /// `None` if unsatisfied; `Some(entry)` if satisfied, where `entry` is
+    /// the flow index that visited a satisfying state (or `None` when the
+    /// satisfying state is the peer's initial state).
+    fn satisfaction(&self, rule: &InterRule) -> Option<Option<usize>> {
+        let eng = &self.net.engines[rule.peer.idx()];
+        for s in &rule.satisfying {
+            if eng.visited[s.0 as usize] {
+                return Some(eng.visited_entry[s.0 as usize]);
+            }
+        }
+        None
+    }
+
+    /// Drive `rule.peer` until a satisfying state is visited: consume its
+    /// node's logged events while they help (including events of *other*
+    /// visits at the node, which precede the peer's in recording order),
+    /// take only inferred prefixes when a logged event would overshoot, and
+    /// fall back to pure inference when the log runs dry.
+    fn force(&mut self, rule: &InterRule) {
+        let peer = rule.peer;
+        if self.forcing.contains(&peer) {
+            self.warnings.push(NetWarning::CyclicPrerequisite { engine: peer });
+            return;
+        }
+        self.forcing.push(peer);
+        loop {
+            if self.satisfaction(rule).is_some() {
+                break;
+            }
+            if self.force_step(rule) {
+                continue;
+            }
+            self.warnings.push(NetWarning::Unsatisfiable {
+                engine: peer,
+                canonical: rule.canonical,
+            });
+            break;
+        }
+        let popped = self.forcing.pop();
+        debug_assert_eq!(popped, Some(peer));
+    }
+
+    /// One forcing step; returns false when stuck.
+    fn force_step(&mut self, rule: &InterRule) -> bool {
+        let peer = rule.peer;
+        let group = self.net.engines[peer.idx()].group;
+
+        // Try the node's next logged event first.
+        if let Some((front_engine, plan)) = self.front_plan(group) {
+            if front_engine == peer {
+                let states = self.template_of(peer).plan_states(&plan);
+                // Overshoot check: does the *inferred prefix* already pass
+                // through a satisfying state? Then take only that prefix and
+                // leave the logged event queued.
+                let prefix_hit = states[..states.len() - 1]
+                    .iter()
+                    .position(|s| rule.satisfying.contains(s));
+                if let Some(k) = prefix_hit {
+                    let prefix = ExecPlan {
+                        steps: plan.steps[..=k].to_vec(),
+                    };
+                    self.exec_plan(peer, &prefix, None);
+                    return true;
+                }
+                // Consume the event when it lands on a satisfying state or
+                // at least keeps one reachable.
+                let end = *states.last().expect("plans are non-empty");
+                let helps = rule.satisfying.contains(&end)
+                    || rule
+                        .satisfying
+                        .iter()
+                        .any(|s| self.template_of(peer).reachable0(end, *s));
+                if helps {
+                    let (_, payload) = self.net.queues[group.idx()]
+                        .pop_front()
+                        .expect("front exists");
+                    self.exec_plan(peer, &plan, Some(payload));
+                    return true;
+                }
+            } else {
+                // The node's front event belongs to another visit; in true
+                // order it precedes the peer's events, so processing it is
+                // both required and safe.
+                if matches!(self.try_front(group), Step::Consumed) {
+                    return true;
+                }
+            }
+        }
+
+        // Pure inference along the canonical normal path.
+        let state = self.net.engines[peer.idx()].state;
+        if let Some(path) = self.template_of(peer).normal_path(state, rule.canonical) {
+            if let Some(&first) = path.first() {
+                let step = ExecPlan { steps: vec![first] };
+                self.exec_plan(peer, &step, None);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fsm::FsmBuilder;
+
+    /// A three-state chain template: Init --<a>--> Mid --<b>--> End, used to
+    /// model each node of Figure 3 (labels parameterized).
+    fn chain(name: &str, a: &'static str, b: &'static str) -> FsmTemplate<&'static str> {
+        let mut builder = FsmBuilder::new(name);
+        let init = builder.state("Init");
+        let mid = builder.state("Mid");
+        let end = builder.state("End");
+        builder.t(init, a, mid).t(mid, b, end);
+        builder.build().unwrap()
+    }
+
+    fn mid(t: &FsmTemplate<&'static str>) -> StateId {
+        t.state_by_name("Mid").unwrap()
+    }
+
+    fn end(t: &FsmTemplate<&'static str>) -> StateId {
+        t.state_by_name("End").unwrap()
+    }
+
+    /// Run with payload == label.
+    fn run_net(net: &mut ConnectedNet<&'static str, &'static str>) -> RunOutput<&'static str> {
+        net.run(|p| *p, |_, trans| trans.label)
+    }
+
+    fn flow_str(out: &RunOutput<&'static str>) -> String {
+        out.flow.to_string()
+    }
+
+    /// Figure 3(a): cascading inter-node transitions.
+    /// e2 on node1 requires node2 to reach End (after e4); e4 on node2
+    /// requires node3 to reach End (after e6).
+    fn fig3a_net() -> (
+        ConnectedNet<&'static str, &'static str>,
+        [EngineId; 3],
+        [StateId; 2],
+    ) {
+        let mut net = ConnectedNet::new();
+        let t1 = net.add_template(chain("n1", "e1", "e2"));
+        let t2 = net.add_template(chain("n2", "e3", "e4"));
+        let t3 = net.add_template(chain("n3", "e5", "e6"));
+        let n1 = net.add_engine(t1, "n1");
+        let n2 = net.add_engine(t2, "n2");
+        let n3 = net.add_engine(t3, "n3");
+        let end2 = end(net.template(t2));
+        let end3 = end(net.template(t3));
+        net.add_rule(
+            n1,
+            "e2",
+            InterRule {
+                peer: n2,
+                satisfying: vec![end2],
+                canonical: end2,
+            },
+        );
+        net.add_rule(
+            n2,
+            "e4",
+            InterRule {
+                peer: n3,
+                satisfying: vec![end3],
+                canonical: end3,
+            },
+        );
+        (net, [n1, n2, n3], [end2, end3])
+    }
+
+    #[test]
+    fn fig3a_cascading_full_logs() {
+        let (mut net, [n1, n2, n3], _) = fig3a_net();
+        net.push_event(n1, "e1");
+        net.push_event(n1, "e2");
+        net.push_event(n2, "e3");
+        net.push_event(n2, "e4");
+        net.push_event(n3, "e5");
+        net.push_event(n3, "e6");
+        let out = run_net(&mut net);
+        // The paper's resulting flow for Figure 3(a).
+        assert_eq!(flow_str(&out), "e1, e3, e5, e6, e4, e2");
+        assert!(out.omitted.is_empty());
+        assert!(out.warnings.is_empty());
+        assert_eq!(out.flow.observed_count(), 6);
+    }
+
+    #[test]
+    fn fig3a_only_e2_survives_infers_everything() {
+        // "Even when there is only one event e2 on node 1 and all other
+        // events are lost, the transition algorithm can generate the correct
+        // event flow and infer lost events."
+        let (mut net, [n1, _, _], _) = fig3a_net();
+        net.push_event(n1, "e2");
+        let out = run_net(&mut net);
+        assert_eq!(flow_str(&out), "[e1], [e3], [e5], [e6], [e4], e2");
+        assert_eq!(out.flow.inferred_count(), 5);
+        assert_eq!(out.flow.observed_count(), 1);
+    }
+
+    #[test]
+    fn fig3b_one_to_many_partial_order() {
+        // e4 on node2 requires both node1 and node3 to reach End.
+        let mut net = ConnectedNet::new();
+        let t1 = net.add_template(chain("n1", "e1", "e2"));
+        let t2 = net.add_template(chain("n2", "e3", "e4"));
+        let t3 = net.add_template(chain("n3", "e5", "e6"));
+        let n1 = net.add_engine(t1, "n1");
+        let n2 = net.add_engine(t2, "n2");
+        let n3 = net.add_engine(t3, "n3");
+        let end1 = end(net.template(t1));
+        let end3 = end(net.template(t3));
+        for (peer, s) in [(n1, end1), (n3, end3)] {
+            net.add_rule(
+                n2,
+                "e4",
+                InterRule {
+                    peer,
+                    satisfying: vec![s],
+                    canonical: s,
+                },
+            );
+        }
+        net.push_event(n1, "e1");
+        net.push_event(n1, "e2");
+        net.push_event(n2, "e3");
+        net.push_event(n2, "e4");
+        net.push_event(n3, "e5");
+        net.push_event(n3, "e6");
+        let out = run_net(&mut net);
+        let pos = |l: &str| {
+            out.flow
+                .payloads()
+                .position(|p| *p == l)
+                .unwrap_or_else(|| panic!("{l} missing"))
+        };
+        // e2 and e6 must both precede e4 (paper's stated constraint).
+        assert!(out.flow.happens_before(pos("e2"), pos("e4")));
+        assert!(out.flow.happens_before(pos("e6"), pos("e4")));
+        // The ordering between e1 and e5 is genuinely undetermined.
+        assert!(out.flow.concurrent(pos("e1"), pos("e5")));
+        assert!(out.flow.concurrent(pos("e2"), pos("e6")));
+    }
+
+    #[test]
+    fn fig3c_many_to_one() {
+        // e3 on node2 is the prerequisite of e1 on node1 and e5 on node3.
+        let mut net = ConnectedNet::new();
+        let t1 = net.add_template(chain("n1", "e1", "e2"));
+        let t2 = net.add_template(chain("n2", "e3", "e4"));
+        let t3 = net.add_template(chain("n3", "e5", "e6"));
+        let n1 = net.add_engine(t1, "n1");
+        let n2 = net.add_engine(t2, "n2");
+        let n3 = net.add_engine(t3, "n3");
+        let mid2 = mid(net.template(t2));
+        for (eng, label) in [(n1, "e1"), (n3, "e5")] {
+            net.add_rule(
+                eng,
+                label,
+                InterRule {
+                    peer: n2,
+                    satisfying: vec![mid2],
+                    canonical: mid2,
+                },
+            );
+        }
+        for (e, evs) in [(n1, ["e1", "e2"]), (n2, ["e3", "e4"]), (n3, ["e5", "e6"])] {
+            for ev in evs {
+                net.push_event(e, ev);
+            }
+        }
+        let out = run_net(&mut net);
+        let pos = |l: &str| out.flow.payloads().position(|p| *p == l).unwrap();
+        // e3 must occur before e1, e2, e5 and e6.
+        for l in ["e1", "e2", "e5", "e6"] {
+            assert!(
+                out.flow.happens_before(pos("e3"), pos(l)),
+                "e3 should precede {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig3d_mixed() {
+        // e1/e5 require node2's Mid (after e3); e4 requires node1's and
+        // node3's End (after e2/e6) — the negotiation/broadcast shape.
+        let mut net = ConnectedNet::new();
+        let t1 = net.add_template(chain("n1", "e1", "e2"));
+        let t2 = net.add_template(chain("n2", "e3", "e4"));
+        let t3 = net.add_template(chain("n3", "e5", "e6"));
+        let n1 = net.add_engine(t1, "n1");
+        let n2 = net.add_engine(t2, "n2");
+        let n3 = net.add_engine(t3, "n3");
+        let mid2 = mid(net.template(t2));
+        let end1 = end(net.template(t1));
+        let end3 = end(net.template(t3));
+        for (eng, label) in [(n1, "e1"), (n3, "e5")] {
+            net.add_rule(
+                eng,
+                label,
+                InterRule {
+                    peer: n2,
+                    satisfying: vec![mid2],
+                    canonical: mid2,
+                },
+            );
+        }
+        for (peer, s) in [(n1, end1), (n3, end3)] {
+            net.add_rule(
+                n2,
+                "e4",
+                InterRule {
+                    peer,
+                    satisfying: vec![s],
+                    canonical: s,
+                },
+            );
+        }
+        for (e, evs) in [(n1, ["e1", "e2"]), (n2, ["e3", "e4"]), (n3, ["e5", "e6"])] {
+            for ev in evs {
+                net.push_event(e, ev);
+            }
+        }
+        let out = run_net(&mut net);
+        let pos = |l: &str| out.flow.payloads().position(|p| *p == l).unwrap();
+        assert!(out.flow.happens_before(pos("e3"), pos("e1")));
+        assert!(out.flow.happens_before(pos("e3"), pos("e5")));
+        assert!(out.flow.happens_before(pos("e2"), pos("e4")));
+        assert!(out.flow.happens_before(pos("e6"), pos("e4")));
+        assert!(out.warnings.is_empty());
+    }
+
+    /// Sender/forwarder templates matching the CTP hop machine shape.
+    fn sender() -> FsmTemplate<&'static str> {
+        let mut b = FsmBuilder::new("sender");
+        let init = b.state("Init");
+        let sending = b.state("Sending");
+        let acked = b.state("Acked");
+        b.t(init, "trans", sending)
+            .t(sending, "trans", sending)
+            .t(sending, "ack", acked);
+        b.build().unwrap()
+    }
+
+    fn forwarder() -> FsmTemplate<&'static str> {
+        let mut b = FsmBuilder::new("forwarder");
+        let init = b.state("Init");
+        let got = b.state("Got");
+        let sending = b.state("Sending");
+        let acked = b.state("Acked");
+        b.t(init, "recv", got)
+            .t(got, "trans", sending)
+            .t(sending, "trans", sending)
+            .t(sending, "ack", acked);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn forcing_takes_inferred_prefix_without_consuming_logged_event() {
+        // The Case-4 situation: the receiver's log has only its *next-hop*
+        // trans; forcing it to Got must infer [recv] and leave the trans
+        // queued so it appears after the sender's ack in the flow.
+        let mut net = ConnectedNet::new();
+        let ts = net.add_template(sender());
+        let tf = net.add_template(forwarder());
+        let a = net.add_engine(ts, "n1");
+        let b = net.add_engine(tf, "n2");
+        let got = net.template(tf).state_by_name("Got").unwrap();
+        net.add_rule(
+            a,
+            "ack",
+            InterRule {
+                peer: b,
+                satisfying: vec![got],
+                canonical: got,
+            },
+        );
+        net.push_event(a, "trans");
+        net.push_event(a, "ack");
+        net.push_event(b, "trans");
+        let out = run_net(&mut net);
+        assert_eq!(flow_str(&out), "trans, [recv], ack, trans");
+    }
+
+    #[test]
+    fn forcing_consumes_logged_events_when_they_lead_to_target() {
+        // The complete-log case: the receiver's own recv satisfies the
+        // prerequisite; nothing is inferred.
+        let mut net = ConnectedNet::new();
+        let ts = net.add_template(sender());
+        let tf = net.add_template(forwarder());
+        let a = net.add_engine(ts, "n1");
+        let b = net.add_engine(tf, "n2");
+        let got = net.template(tf).state_by_name("Got").unwrap();
+        net.add_rule(
+            a,
+            "ack",
+            InterRule {
+                peer: b,
+                satisfying: vec![got],
+                canonical: got,
+            },
+        );
+        net.push_event(a, "trans");
+        net.push_event(a, "ack");
+        net.push_event(b, "recv");
+        let out = run_net(&mut net);
+        assert_eq!(flow_str(&out), "trans, recv, ack");
+        assert_eq!(out.flow.inferred_count(), 0);
+    }
+
+    #[test]
+    fn forcing_infers_when_peer_log_is_empty() {
+        // Table II Case 2 at the net level.
+        let mut net = ConnectedNet::new();
+        let ts = net.add_template(sender());
+        let tf = net.add_template(forwarder());
+        let a = net.add_engine(ts, "n1");
+        let b = net.add_engine(tf, "n2");
+        let got = net.template(tf).state_by_name("Got").unwrap();
+        net.add_rule(
+            a,
+            "ack",
+            InterRule {
+                peer: b,
+                satisfying: vec![got],
+                canonical: got,
+            },
+        );
+        net.push_event(a, "trans");
+        net.push_event(a, "ack");
+        let out = run_net(&mut net);
+        assert_eq!(flow_str(&out), "trans, [recv], ack");
+    }
+
+    #[test]
+    fn unprocessable_events_are_omitted() {
+        let mut net = ConnectedNet::new();
+        let ts = net.add_template(sender());
+        let a = net.add_engine(ts, "n1");
+        net.push_event(a, "nonsense");
+        net.push_event(a, "trans");
+        let out = run_net(&mut net);
+        // "nonsense" blocks, is omitted, then trans processes.
+        assert_eq!(flow_str(&out), "trans");
+        assert_eq!(out.omitted, vec![(a, "nonsense")]);
+    }
+
+    #[test]
+    fn retransmissions_self_loop() {
+        let mut net = ConnectedNet::new();
+        let ts = net.add_template(sender());
+        let a = net.add_engine(ts, "n1");
+        for ev in ["trans", "trans", "trans", "ack"] {
+            net.push_event(a, ev);
+        }
+        let out = run_net(&mut net);
+        assert_eq!(flow_str(&out), "trans, trans, trans, ack");
+        assert!(out.omitted.is_empty());
+    }
+
+    #[test]
+    fn cyclic_prerequisites_terminate_with_warning() {
+        // Two engines each requiring the other's Mid before their own first
+        // label: pathological, must not hang.
+        let mut net = ConnectedNet::new();
+        let t1 = net.add_template(chain("n1", "x1", "y1"));
+        let t2 = net.add_template(chain("n2", "x2", "y2"));
+        let a = net.add_engine(t1, "a");
+        let b = net.add_engine(t2, "b");
+        let mid1 = mid(net.template(t1));
+        let mid2 = mid(net.template(t2));
+        net.add_rule(
+            a,
+            "x1",
+            InterRule {
+                peer: b,
+                satisfying: vec![mid2],
+                canonical: mid2,
+            },
+        );
+        net.add_rule(
+            b,
+            "x2",
+            InterRule {
+                peer: a,
+                satisfying: vec![mid1],
+                canonical: mid1,
+            },
+        );
+        net.push_event(a, "x1");
+        net.push_event(b, "x2");
+        let out = run_net(&mut net);
+        assert!(out
+            .warnings
+            .iter()
+            .any(|w| matches!(w, NetWarning::CyclicPrerequisite { .. })));
+        // Both observed events still make it into the flow.
+        assert_eq!(out.flow.observed_count(), 2);
+    }
+
+    #[test]
+    fn unsatisfiable_prerequisite_warns_but_continues() {
+        let mut net = ConnectedNet::new();
+        let t1 = net.add_template(chain("n1", "x1", "y1"));
+        let t2 = net.add_template(chain("n2", "x2", "y2"));
+        let a = net.add_engine(t1, "a");
+        let b = net.add_engine(t2, "b");
+        let mid2 = mid(net.template(t2));
+        net.push_event(b, "x2");
+        net.push_event(b, "y2");
+        // An empty satisfying set can never be met.
+        let rule = InterRule {
+            peer: b,
+            satisfying: vec![],
+            canonical: mid2,
+        };
+        net.add_rule(a, "x1", rule);
+        net.push_event(a, "x1");
+        let out = run_net(&mut net);
+        assert!(out
+            .warnings
+            .iter()
+            .any(|w| matches!(w, NetWarning::Unsatisfiable { .. })));
+        // x1 is still processed after the failed forcing.
+        assert!(out.flow.payloads().any(|p| *p == "x1"));
+    }
+
+    #[test]
+    fn dependencies_record_prerequisite_edges() {
+        let (mut net, [n1, _, _], _) = fig3a_net();
+        net.push_event(n1, "e1");
+        net.push_event(n1, "e2");
+        let out = run_net(&mut net);
+        // e2 is last; its deps must include the inferred e4 entry.
+        let e2_idx = out.flow.payloads().position(|p| *p == "e2").unwrap();
+        let e4_idx = out.flow.payloads().position(|p| *p == "e4").unwrap();
+        assert!(out.flow.happens_before(e4_idx, e2_idx));
+    }
+
+    #[test]
+    fn grouped_engines_share_one_queue_in_order() {
+        // Two sender engines at "the same node": their interleaved log is
+        // consumed strictly in order even though the engines differ.
+        let mut net: ConnectedNet<&'static str, &'static str> = ConnectedNet::new();
+        let ts = net.add_template(sender());
+        let g = net.add_group();
+        let v0 = net.add_engine_in_group(ts, "n/v0", g);
+        let v1 = net.add_engine_in_group(ts, "n/v1", g);
+        net.push_event(v0, "trans");
+        net.push_event(v1, "trans");
+        net.push_event(v0, "ack");
+        net.push_event(v1, "ack");
+        let out = run_net(&mut net);
+        assert_eq!(flow_str(&out), "trans, trans, ack, ack");
+        // Per-group order is enforced by dependency edges.
+        for w in out
+            .flow
+            .entries
+            .iter()
+            .enumerate()
+            .collect::<Vec<_>>()
+            .windows(2)
+        {
+            let (i, _) = w[0];
+            let (j, _) = w[1];
+            assert!(out.flow.happens_before(i, j));
+        }
+    }
+
+    #[test]
+    fn forcing_consumes_other_visits_events_first() {
+        // Node B's log interleaves visit events: [recv(v0), trans(v0)];
+        // a second engine v1's event sits *behind* them. Forcing v1 must
+        // first drain v0's earlier events (they precede in node order).
+        let mut net: ConnectedNet<&'static str, &'static str> = ConnectedNet::new();
+        let ts = net.add_template(sender());
+        let tf = net.add_template(forwarder());
+        let a = net.add_engine(ts, "a");
+        let g = net.add_group();
+        let v0 = net.add_engine_in_group(tf, "b/v0", g);
+        let v1 = net.add_engine_in_group(tf, "b/v1", g);
+        let got = net.template(tf).state_by_name("Got").unwrap();
+        net.add_rule(
+            a,
+            "ack",
+            InterRule {
+                peer: v1,
+                satisfying: vec![got],
+                canonical: got,
+            },
+        );
+        net.push_event(v0, "recv");
+        net.push_event(v0, "trans");
+        net.push_event(v1, "recv");
+        net.push_event(a, "trans");
+        net.push_event(a, "ack");
+        let out = run_net(&mut net);
+        // v0's recv and trans were consumed (in order) on the way to v1's
+        // recv, which satisfied the prerequisite.
+        assert_eq!(flow_str(&out), "trans, recv, trans, recv, ack");
+        assert_eq!(out.flow.inferred_count(), 0);
+    }
+}

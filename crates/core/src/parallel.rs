@@ -1,0 +1,188 @@
+//! Data-parallel reconstruction drivers.
+//!
+//! Packets are independent: each reconstruction touches only that packet's
+//! events. That makes the per-packet loop embarrassingly parallel, and a
+//! CitySee-scale month of logs (hundreds of thousands of packets) is where
+//! it pays. Two drivers are provided:
+//!
+//! * [`reconstruct_rayon`] — the idiomatic `par_iter` pipeline (default),
+//! * [`reconstruct_crossbeam`] — scoped worker threads pulling packet
+//!   indices off an atomic counter, kept as the comparison point the bench
+//!   suite measures against Rayon's work-stealing.
+//!
+//! Both produce output identical to the sequential
+//! [`Reconstructor::reconstruct_log`] (packets sorted by id), which the
+//! test suite verifies — determinism is a core invariant (DESIGN.md §5).
+
+use crate::diagnose::{Diagnoser, Diagnosis};
+use crate::trace::{PacketReport, Reconstructor};
+use eventlog::{Event, MergedLog, PacketId, SimTime};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Sorted packet groups from a merged log.
+fn sorted_groups(merged: &MergedLog) -> Vec<(PacketId, Vec<Event>)> {
+    let groups = merged.by_packet();
+    let mut v: Vec<(PacketId, Vec<Event>)> = groups.into_iter().collect();
+    v.sort_unstable_by_key(|(id, _)| *id);
+    v
+}
+
+/// Reconstruct all packets with Rayon's parallel iterator.
+pub fn reconstruct_rayon(recon: &Reconstructor, merged: &MergedLog) -> Vec<PacketReport> {
+    sorted_groups(merged)
+        .par_iter()
+        .map(|(id, events)| recon.reconstruct_packet(*id, events))
+        .collect()
+}
+
+/// Reconstruct all packets with `workers` crossbeam-scoped threads pulling
+/// work off a shared atomic cursor.
+pub fn reconstruct_crossbeam(
+    recon: &Reconstructor,
+    merged: &MergedLog,
+    workers: usize,
+) -> Vec<PacketReport> {
+    let groups = sorted_groups(merged);
+    let n = groups.len();
+    let mut slots: Vec<Option<PacketReport>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let cursor = AtomicUsize::new(0);
+    let workers = workers.max(1).min(n.max(1));
+
+    crossbeam::thread::scope(|scope| {
+        // Hand each worker a disjoint view of the slots via chunks of a
+        // mutable split; simplest safe pattern: collect results per worker
+        // and write back after the scope. To avoid a post-pass we instead
+        // use a channel.
+        let (tx, rx) = crossbeam::channel::unbounded::<(usize, PacketReport)>();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let groups = &groups;
+            let cursor = &cursor;
+            scope.spawn(move |_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= groups.len() {
+                    break;
+                }
+                let (id, events) = &groups[i];
+                let report = recon.reconstruct_packet(*id, events);
+                tx.send((i, report)).expect("receiver outlives scope");
+            });
+        }
+        drop(tx);
+        for (i, report) in rx {
+            slots[i] = Some(report);
+        }
+    })
+    .expect("worker threads do not panic");
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// Reconstruct and diagnose in one parallel pass.
+pub fn reconstruct_and_diagnose(
+    recon: &Reconstructor,
+    diagnoser: &Diagnoser,
+    merged: &MergedLog,
+    est_time: impl Fn(PacketId) -> Option<SimTime> + Sync,
+) -> Vec<(PacketReport, Diagnosis)> {
+    sorted_groups(merged)
+        .par_iter()
+        .map(|(id, events)| {
+            let report = recon.reconstruct_packet(*id, events);
+            let diag = diagnoser.diagnose(&report, est_time(*id));
+            (report, diag)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::CtpVocabulary;
+    use eventlog::{merge_logs, EventKind, LocalLog};
+    use netsim::NodeId;
+
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    /// A small multi-packet merged log: 20 packets over a 3-node chain with
+    /// assorted losses.
+    fn sample_log() -> MergedLog {
+        let mut n1 = Vec::new();
+        let mut n2 = Vec::new();
+        let mut n3 = Vec::new();
+        for s in 0..20u32 {
+            let p = PacketId::new(n(1), s);
+            n1.push(Event::new(n(1), EventKind::Trans { to: n(2) }, p));
+            if s % 3 != 0 {
+                n1.push(Event::new(n(1), EventKind::AckRecvd { to: n(2) }, p));
+            }
+            if s % 4 != 0 {
+                n2.push(Event::new(n(2), EventKind::Recv { from: n(1) }, p));
+                n2.push(Event::new(n(2), EventKind::Trans { to: n(3) }, p));
+            }
+            if s % 5 != 0 {
+                n3.push(Event::new(n(3), EventKind::Recv { from: n(2) }, p));
+            }
+        }
+        merge_logs(&[
+            LocalLog::from_events(n(1), n1),
+            LocalLog::from_events(n(2), n2),
+            LocalLog::from_events(n(3), n3),
+        ])
+    }
+
+    fn flows(reports: &[PacketReport]) -> Vec<String> {
+        reports.iter().map(|r| r.flow.to_string()).collect()
+    }
+
+    #[test]
+    fn rayon_matches_sequential() {
+        let recon = Reconstructor::new(CtpVocabulary::table2());
+        let merged = sample_log();
+        let seq = recon.reconstruct_log(&merged);
+        let par = reconstruct_rayon(&recon, &merged);
+        assert_eq!(flows(&seq), flows(&par));
+        assert_eq!(
+            seq.iter().map(|r| r.packet).collect::<Vec<_>>(),
+            par.iter().map(|r| r.packet).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn crossbeam_matches_sequential() {
+        let recon = Reconstructor::new(CtpVocabulary::table2());
+        let merged = sample_log();
+        let seq = recon.reconstruct_log(&merged);
+        for workers in [1, 2, 4] {
+            let par = reconstruct_crossbeam(&recon, &merged, workers);
+            assert_eq!(flows(&seq), flows(&par), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn reconstruct_and_diagnose_pairs_up() {
+        let recon = Reconstructor::new(CtpVocabulary::table2());
+        let diagnoser = Diagnoser::new();
+        let merged = sample_log();
+        let out = reconstruct_and_diagnose(&recon, &diagnoser, &merged, |_| None);
+        assert_eq!(out.len(), 20);
+        for (report, diag) in &out {
+            assert_eq!(report.packet, diag.packet);
+        }
+    }
+
+    #[test]
+    fn empty_log_yields_no_reports() {
+        let recon = Reconstructor::new(CtpVocabulary::table2());
+        let merged = merge_logs(&[]);
+        assert!(reconstruct_rayon(&recon, &merged).is_empty());
+        assert!(reconstruct_crossbeam(&recon, &merged, 4).is_empty());
+    }
+}

@@ -1,0 +1,1127 @@
+//! Per-packet event-flow reconstruction.
+//!
+//! The tracing pipeline turns a merged log into one [`PacketReport`] per
+//! packet:
+//!
+//! 1. **Group** the packet's events per node (each node's recording order
+//!    is preserved by the merge).
+//! 2. **Segment** each node's events into *visits*: a routing loop brings a
+//!    packet back to a node, which must become a second engine instance
+//!    (Table II, Case 4). Segmentation runs the node's FSM speculatively —
+//!    a new visit starts when the current instance cannot process an event
+//!    but a fresh instance could.
+//! 3. **Link** visits into hop chains using the sender/receiver evidence
+//!    carried by two-party events (`1-2 trans` names its receiver, `1-2
+//!    recv` its sender). Hops referenced only from one side get *phantom*
+//!    engines with empty logs — this is how a wholly lost node (Case 1)
+//!    still participates in the reconstruction.
+//! 4. **Run** the connected engines ([`crate::net`]) with the CTP
+//!    inter-node rules: a `recv` requires the previous hop's `Sending`, an
+//!    `ack recvd` requires the next hop to have *got* (or knowingly
+//!    dropped) the packet, a `bs recv` requires the sink's `SerialSent`.
+//!
+//! The output flow contains observed events plus inferred lost events in a
+//! consistent order, from which [`crate::diagnose`] derives loss positions
+//! and causes.
+
+use crate::ctp_model::{self, CtpModel, HopLabel};
+use crate::flow::EventFlow;
+use crate::fsm::{FsmTemplate, StateId};
+use crate::net::{ConnectedNet, EngineId, InterRule, NetWarning};
+use eventlog::event::BASE_STATION;
+use eventlog::{Event, EventKind, MergedLog, PacketId};
+use netsim::NodeId;
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+pub use crate::ctp_model::CtpVocabulary;
+
+/// The role a node-visit engine plays for one packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Role {
+    /// The packet's origin (or a retransmission re-visit at the origin).
+    Source,
+    /// An intermediate forwarder.
+    Forwarder,
+    /// The sink (radio in, serial out).
+    Sink,
+    /// The base station behind the serial link.
+    BaseStation,
+}
+
+/// Metadata about one engine instance of a packet's reconstruction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineInfo {
+    /// The node this engine models.
+    pub node: NodeId,
+    /// Its role.
+    pub role: Role,
+    /// Visit index at this node (0 for the first visit).
+    pub visit: u32,
+    /// Engine index (into [`PacketReport::engines`]) of the previous hop.
+    pub prev: Option<usize>,
+    /// Engine index of the next hop.
+    pub next: Option<usize>,
+    /// Fragment id: 0 is the main chain from the packet's origin; engines
+    /// not connected to it get higher ids.
+    pub fragment: usize,
+    /// Whether this engine was created purely from peer evidence (its own
+    /// log contributed no events).
+    pub phantom: bool,
+}
+
+/// The reconstruction result for one packet.
+#[derive(Debug, Clone)]
+pub struct PacketReport {
+    /// The packet.
+    pub packet: PacketId,
+    /// The reconstructed event flow (observed + inferred entries).
+    pub flow: EventFlow<Event>,
+    /// Observed events that had no available transition and were omitted.
+    pub omitted: Vec<Event>,
+    /// Diagnostics from the engine network.
+    pub warnings: Vec<NetWarning>,
+    /// Per-engine metadata, in engine-id order.
+    pub engines: Vec<EngineInfo>,
+    /// The main-chain node path, starting at the packet's earliest known
+    /// position.
+    pub path: Vec<NodeId>,
+    /// True if the base station logged the packet.
+    pub delivered: bool,
+}
+
+impl PacketReport {
+    /// The engine info behind a flow entry.
+    pub fn engine_of_entry(&self, entry_idx: usize) -> &EngineInfo {
+        &self.engines[self.flow.entries[entry_idx].engine.0 as usize]
+    }
+
+    /// True if the reconstructed path revisits a node — evidence of a
+    /// routing loop (the paper's Case 4 situation).
+    pub fn has_routing_loop(&self) -> bool {
+        let mut seen = rustc_hash::FxHashSet::default();
+        self.path.iter().any(|n| !seen.insert(*n))
+    }
+
+    /// Number of radio hops the packet is known to have completed (nodes
+    /// on the main path beyond the origin, excluding the base station).
+    pub fn hops_completed(&self) -> usize {
+        self.path
+            .iter()
+            .filter(|n| **n != BASE_STATION)
+            .count()
+            .saturating_sub(1)
+    }
+}
+
+/// Ablation switches for the reconstructor (all on by default). Turning
+/// pieces off quantifies their contribution — the `ablation` bench binary
+/// sweeps these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconOptions {
+    /// Use derived intra-node jump transitions (Section IV-B). Off, an
+    /// engine can only follow normal transitions, so any lost event stalls
+    /// its machine.
+    pub intra_jumps: bool,
+    /// Use inter-node prerequisite rules. Off, engines never force peers,
+    /// so cross-node lost events are not inferred and cross-node ordering
+    /// is not recovered.
+    pub inter_rules: bool,
+}
+
+impl Default for ReconOptions {
+    fn default() -> Self {
+        ReconOptions {
+            intra_jumps: true,
+            inter_rules: true,
+        }
+    }
+}
+
+/// The REFILL reconstructor for the CTP stack.
+pub struct Reconstructor {
+    model: CtpModel,
+    sink: Option<NodeId>,
+    options: ReconOptions,
+}
+
+impl Reconstructor {
+    /// Build with a vocabulary; the sink is inferred from `serial trans`
+    /// evidence unless [`Reconstructor::with_sink`] pins it.
+    pub fn new(vocabulary: CtpVocabulary) -> Self {
+        Reconstructor {
+            model: CtpModel::new(vocabulary),
+            sink: None,
+            options: ReconOptions::default(),
+        }
+    }
+
+    /// Apply ablation options (see [`ReconOptions`]).
+    pub fn with_options(mut self, options: ReconOptions) -> Self {
+        if !options.intra_jumps {
+            self.model.source = self.model.source.strip_intra();
+            self.model.forwarder = self.model.forwarder.strip_intra();
+            self.model.sink = self.model.sink.strip_intra();
+            self.model.bs = self.model.bs.strip_intra();
+        }
+        self.options = options;
+        self
+    }
+
+    /// Pin the sink node (operators know it; CitySee's is node 0).
+    pub fn with_sink(mut self, sink: NodeId) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &CtpModel {
+        &self.model
+    }
+
+    /// Reconstruct every packet mentioned in a merged log, sorted by packet
+    /// id (deterministic).
+    pub fn reconstruct_log(&self, merged: &MergedLog) -> Vec<PacketReport> {
+        let groups = merged.by_packet();
+        let mut ids: Vec<PacketId> = groups.keys().copied().collect();
+        ids.sort_unstable();
+        ids.iter()
+            .map(|id| self.reconstruct_packet(*id, &groups[id]))
+            .collect()
+    }
+
+    /// Reconstruct one packet from its events (merged order; per-node
+    /// subsequences must be in recording order).
+    pub fn reconstruct_packet(&self, packet: PacketId, events: &[Event]) -> PacketReport {
+        let sink = self.sink.or_else(|| {
+            events
+                .iter()
+                .find(|e| matches!(e.kind, EventKind::SerialTrans))
+                .map(|e| e.node)
+        });
+
+        let (mut visits, assignments) = self.segment(packet, events, sink);
+        self.link(packet, &mut visits, sink);
+        let order = chain_order(&visits);
+        self.run(packet, events, visits, assignments, order, sink)
+    }
+
+    fn template_for(&self, role: Role) -> &FsmTemplate<HopLabel> {
+        match role {
+            Role::Source => &self.model.source,
+            Role::Forwarder => &self.model.forwarder,
+            Role::Sink => &self.model.sink,
+            Role::BaseStation => &self.model.bs,
+        }
+    }
+
+    /// Phase 2: split each node's events into visits.
+    ///
+    /// Returns the visits plus the per-node-ordered `(visit index, event)`
+    /// assignments — the run phase queues them per *node*, so a node's
+    /// recording order is preserved even when visits interleave (a dup of a
+    /// retransmission can land between two events of the original visit).
+    fn segment(
+        &self,
+        packet: PacketId,
+        events: &[Event],
+        sink: Option<NodeId>,
+    ) -> (Vec<Visit>, Vec<(usize, Event)>) {
+        // Per-node streams in merged order (per-node order preserved).
+        let mut node_order: Vec<NodeId> = Vec::new();
+        let mut streams: FxHashMap<NodeId, Vec<Event>> = FxHashMap::default();
+        for &e in events {
+            streams
+                .entry(e.node)
+                .or_insert_with(|| {
+                    node_order.push(e.node);
+                    Vec::new()
+                })
+                .push(e);
+        }
+
+        let mut visits: Vec<Visit> = Vec::new();
+        let mut assignments: Vec<(usize, Event)> = Vec::with_capacity(events.len());
+        for node in node_order {
+            let stream = &streams[&node];
+            // Visits at this node, in creation order; the last is "current".
+            let mut active: Vec<usize> = Vec::new();
+            for &ev in stream {
+                let label = ctp_model::label_of(&ev.kind);
+                // Try the active visits, most recent first: the current one
+                // usually matches; earlier ones catch events of an original
+                // visit interleaved behind a dup-triggered one.
+                let mut assigned = false;
+                for &vi in active.iter().rev() {
+                    let t = self.template_for(visits[vi].role);
+                    if let Some(plan) = t.plan(visits[vi].state, &label) {
+                        visits[vi].state = t.plan_end(&plan);
+                        visits[vi].accept(ev);
+                        assignments.push((vi, ev));
+                        assigned = true;
+                        break;
+                    }
+                }
+                if assigned {
+                    continue;
+                }
+                // Spawn a fresh visit if a fresh instance could process it.
+                let role = self.spawn_role(packet, node, sink, active.len() as u32, &ev);
+                let t = self.template_for(role);
+                if let Some(plan) = t.plan(t.initial(), &label) {
+                    let mut v = Visit::new(node, role, active.len() as u32, t.initial());
+                    v.state = t.plan_end(&plan);
+                    v.accept(ev);
+                    visits.push(v);
+                    active.push(visits.len() - 1);
+                    assignments.push((visits.len() - 1, ev));
+                    continue;
+                }
+                // Unprocessable anywhere: attach to the current (or a new)
+                // visit so the run reports it as omitted.
+                match active.last() {
+                    Some(&vi) => {
+                        visits[vi].events.push(ev);
+                        assignments.push((vi, ev));
+                    }
+                    None => {
+                        let mut v = Visit::new(node, role, 0, t.initial());
+                        v.events.push(ev);
+                        visits.push(v);
+                        active.push(visits.len() - 1);
+                        assignments.push((visits.len() - 1, ev));
+                    }
+                }
+            }
+        }
+        (visits, assignments)
+    }
+
+    /// Which role a freshly spawned visit should use.
+    fn spawn_role(
+        &self,
+        packet: PacketId,
+        node: NodeId,
+        sink: Option<NodeId>,
+        visits_so_far: u32,
+        ev: &Event,
+    ) -> Role {
+        if node == BASE_STATION {
+            return Role::BaseStation;
+        }
+        if Some(node) == sink {
+            return Role::Sink;
+        }
+        if node == packet.origin {
+            // First visit at the origin is the source; later visits are the
+            // source again for sender-side evidence (a retransmission
+            // sequence, Case 3) or a forwarder for receiver-side evidence
+            // (a genuine routing loop back to the origin, Case 4).
+            if visits_so_far == 0 || ev.kind.is_sender_side() {
+                return Role::Source;
+            }
+            return Role::Forwarder;
+        }
+        Role::Forwarder
+    }
+
+    /// Phase 3: link visits into hop chains, creating phantom engines for
+    /// hops evidenced from only one side.
+    fn link(&self, packet: PacketId, visits: &mut Vec<Visit>, sink: Option<NodeId>) {
+        // Pass 1: receivers find (or create) their senders.
+        let mut i = 0;
+        while i < visits.len() {
+            if visits[i].prev.is_none() {
+                let entry_from = match visits[i].role {
+                    Role::Forwarder | Role::Sink => visits[i].entry_from,
+                    // The base station's upstream is always the sink.
+                    Role::BaseStation => sink,
+                    Role::Source => None,
+                };
+                if let Some(u) = entry_from {
+                    let me = visits[i].node;
+                    // A dup-entry visit is retransmission evidence: its
+                    // sender is an existing visit at `u` (possibly already
+                    // linked onward), not a fresh hop. Attach prev without
+                    // stealing the sender's `next`.
+                    if visits[i].entry_is_dup {
+                        if let Some(s) = find_retransmitter(visits, u, me, i) {
+                            visits[i].prev = Some(s);
+                            if visits[s].next.is_none() {
+                                visits[s].next = Some(i);
+                            }
+                            i += 1;
+                            continue;
+                        }
+                    }
+                    let sender = find_sender(visits, u, me, i)
+                        .unwrap_or_else(|| {
+                            let role = if u == packet.origin {
+                                Role::Source
+                            } else if Some(u) == sink {
+                                Role::Sink
+                            } else {
+                                Role::Forwarder
+                            };
+                            let visit_idx =
+                                visits.iter().filter(|v| v.node == u).count() as u32;
+                            let t = self.template_for(role);
+                            let mut v = Visit::new(u, role, visit_idx, t.initial());
+                            v.exit_to = Some(me);
+                            v.phantom = true;
+                            visits.push(v);
+                            visits.len() - 1
+                        });
+                    visits[sender].next = Some(i);
+                    visits[i].prev = Some(sender);
+                }
+            }
+            i += 1;
+        }
+
+        // Pass 2: senders find (or create) their receivers.
+        let mut i = 0;
+        while i < visits.len() {
+            if visits[i].next.is_none() {
+                if let Some(v_node) = visits[i].exit_to {
+                    let me = visits[i].node;
+                    let receiver = find_receiver(visits, v_node, me, i).unwrap_or_else(|| {
+                        let role = if v_node == BASE_STATION {
+                            Role::BaseStation
+                        } else if Some(v_node) == sink {
+                            Role::Sink
+                        } else {
+                            Role::Forwarder
+                        };
+                        let visit_idx =
+                            visits.iter().filter(|v| v.node == v_node).count() as u32;
+                        let t = self.template_for(role);
+                        let mut v = Visit::new(v_node, role, visit_idx, t.initial());
+                        v.entry_from = Some(me);
+                        v.phantom = true;
+                        visits.push(v);
+                        visits.len() - 1
+                    });
+                    visits[receiver].prev = Some(i);
+                    visits[i].next = Some(receiver);
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Phase 4: build the connected net, run it, package the report.
+    fn run(
+        &self,
+        packet: PacketId,
+        events: &[Event],
+        visits: Vec<Visit>,
+        assignments: Vec<(usize, Event)>,
+        order: Vec<usize>,
+        _sink: Option<NodeId>,
+    ) -> PacketReport {
+        let mut net: ConnectedNet<HopLabel, Event> = ConnectedNet::new();
+        let t_src = net.add_template(self.model.source.clone());
+        let t_fwd = net.add_template(self.model.forwarder.clone());
+        let t_sink = net.add_template(self.model.sink.clone());
+        let t_bs = net.add_template(self.model.bs.clone());
+        let template_idx = |role: Role| match role {
+            Role::Source => t_src,
+            Role::Forwarder => t_fwd,
+            Role::Sink => t_sink,
+            Role::BaseStation => t_bs,
+        };
+
+        // Create engines in chain order; map visit index → engine id. Every
+        // visit of one node shares that node's group, so the node's log
+        // order is consumed as one serial queue.
+        let mut engine_of_visit: FxHashMap<usize, EngineId> = FxHashMap::default();
+        let mut group_of_node: FxHashMap<NodeId, crate::net::GroupId> = FxHashMap::default();
+        let mut fragments: Vec<usize> = vec![0; visits.len()];
+        {
+            // Fragment ids: walk `order`, bump fragment id at chain heads.
+            let mut frag = 0usize;
+            for (k, &vi) in order.iter().enumerate() {
+                if k > 0 && visits[vi].prev.map(|p| engine_of_visit.contains_key(&p)) != Some(true)
+                {
+                    frag += 1;
+                }
+                fragments[vi] = frag;
+                let name = format!("{}/v{}", visits[vi].node, visits[vi].visit);
+                let group = *group_of_node
+                    .entry(visits[vi].node)
+                    .or_insert_with(|| net.add_group());
+                let e = net.add_engine_in_group(template_idx(visits[vi].role), name, group);
+                engine_of_visit.insert(vi, e);
+            }
+        }
+
+        // Landmarks per role.
+        let role_states = |role: Role| match role {
+            Role::Source => &self.model.source_states,
+            Role::Forwarder => &self.model.forwarder_states,
+            Role::Sink => &self.model.sink_states,
+            Role::BaseStation => &self.model.sink_states, // unused for BS
+        };
+
+        // Inter-node rules + event queues.
+        for &vi in &order {
+            let e = engine_of_visit[&vi];
+            let v = &visits[vi];
+            // recv/dup require the previous hop's Sending.
+            if let Some(p) = v.prev.filter(|_| self.options.inter_rules) {
+                let pe = engine_of_visit[&p];
+                let prev_role = visits[p].role;
+                match v.role {
+                    Role::Forwarder | Role::Sink => {
+                        if let Some(sending) = role_states(prev_role).sending {
+                            for label in [HopLabel::Recv, HopLabel::Dup] {
+                                net.add_rule(
+                                    e,
+                                    label,
+                                    InterRule {
+                                        peer: pe,
+                                        satisfying: vec![sending],
+                                        canonical: sending,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                    Role::BaseStation => {
+                        if let Some(serial) = role_states(prev_role).serial_sent {
+                            net.add_rule(
+                                e,
+                                HopLabel::BsRecv,
+                                InterRule {
+                                    peer: pe,
+                                    satisfying: vec![serial],
+                                    canonical: serial,
+                                },
+                            );
+                        }
+                    }
+                    Role::Source => {}
+                }
+            }
+            // ack recvd requires the next hop to have got (or knowingly
+            // dropped) the packet.
+            if let Some(n) = v.next.filter(|_| self.options.inter_rules) {
+                if matches!(v.role, Role::Source | Role::Forwarder) {
+                    let ne = engine_of_visit[&n];
+                    let ns = role_states(visits[n].role);
+                    let mut satisfying = vec![ns.got];
+                    if let Some(d) = ns.dup_drop {
+                        satisfying.push(d);
+                    }
+                    net.add_rule(
+                        e,
+                        HopLabel::AckRecvd,
+                        InterRule {
+                            peer: ne,
+                            satisfying,
+                            canonical: ns.got,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Queue events in per-node recording order, tagged with their
+        // assigned engines.
+        for (vi, ev) in &assignments {
+            net.push_event(engine_of_visit[vi], *ev);
+        }
+
+        // Synthesis metadata: engine id → (node, prev node, next node).
+        let mut meta: Vec<(NodeId, Option<NodeId>, Option<NodeId>)> =
+            vec![(NodeId(0), None, None); order.len()];
+        for &vi in &order {
+            let e = engine_of_visit[&vi];
+            let v = &visits[vi];
+            let prev_node = v
+                .prev
+                .map(|p| visits[p].node)
+                .or(v.entry_from);
+            let next_node = v
+                .next
+                .map(|n| visits[n].node)
+                .or(v.exit_to);
+            meta[e.0 as usize] = (v.node, prev_node, next_node);
+        }
+
+        let out = net.run(
+            |e| ctp_model::label_of(&e.kind),
+            |engine, trans| {
+                let (node, prev, next) = meta[engine.0 as usize];
+                ctp_model::synthesize_event(node, prev, next, packet, trans)
+            },
+        );
+
+        // Engine infos in engine-id order.
+        let mut engines: Vec<EngineInfo> = Vec::with_capacity(order.len());
+        for &vi in &order {
+            let v = &visits[vi];
+            engines.push(EngineInfo {
+                node: v.node,
+                role: v.role,
+                visit: v.visit,
+                prev: v.prev.map(|p| engine_of_visit[&p].0 as usize),
+                next: v.next.map(|n| engine_of_visit[&n].0 as usize),
+                fragment: fragments[vi],
+                phantom: v.phantom,
+            });
+        }
+
+        // Main-chain node path. Under heavy log loss the evidence-based
+        // next-links can form a cycle (a real routing loop whose distinct
+        // visits collapsed into each other); guard the walk.
+        let mut path = Vec::new();
+        if let Some(&head) = order.first() {
+            let mut cur = Some(head);
+            let mut walked = vec![false; visits.len()];
+            while let Some(vi) = cur {
+                if walked[vi] {
+                    break;
+                }
+                walked[vi] = true;
+                path.push(visits[vi].node);
+                cur = visits[vi].next;
+            }
+        }
+
+        let delivered = events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::BsRecv));
+
+        PacketReport {
+            packet,
+            flow: out.flow,
+            omitted: out.omitted.into_iter().map(|(_, e)| e).collect(),
+            warnings: out.warnings,
+            engines,
+            path,
+            delivered,
+        }
+    }
+}
+
+/// A visit under construction.
+#[derive(Debug, Clone)]
+struct Visit {
+    node: NodeId,
+    role: Role,
+    visit: u32,
+    state: StateId,
+    events: Vec<Event>,
+    entry_from: Option<NodeId>,
+    /// True when the visit's entry evidence is a `dup` — a retransmission
+    /// duplicate, whose "sender" is an existing visit retransmitting, not a
+    /// new hop.
+    entry_is_dup: bool,
+    exit_to: Option<NodeId>,
+    exit_frozen: bool,
+    prev: Option<usize>,
+    next: Option<usize>,
+    phantom: bool,
+}
+
+impl Visit {
+    fn new(node: NodeId, role: Role, visit: u32, initial: StateId) -> Self {
+        Visit {
+            node,
+            role,
+            visit,
+            state: initial,
+            events: Vec::new(),
+            entry_from: None,
+            entry_is_dup: false,
+            exit_to: None,
+            exit_frozen: false,
+            prev: None,
+            next: None,
+            phantom: false,
+        }
+    }
+
+    /// Record an accepted event and update hop evidence.
+    fn accept(&mut self, ev: Event) {
+        match ev.kind {
+            EventKind::Recv { from } | EventKind::Dup { from } | EventKind::Overflow { from }
+                if self.entry_from.is_none() => {
+                    self.entry_from = Some(from);
+                    self.entry_is_dup = matches!(ev.kind, EventKind::Dup { .. });
+                }
+            EventKind::Trans { to } | EventKind::Timeout { to }
+                // A node may re-route mid-visit (parent change): the latest
+                // target wins, unless an ack already froze the hop.
+                if !self.exit_frozen => {
+                    self.exit_to = Some(to);
+                }
+            EventKind::AckRecvd { to } => {
+                self.exit_to = Some(to);
+                self.exit_frozen = true;
+            }
+            EventKind::SerialTrans
+                if !self.exit_frozen => {
+                    self.exit_to = Some(BASE_STATION);
+                }
+            _ => {}
+        }
+        self.events.push(ev);
+    }
+}
+
+/// Find an unlinked sender visit at node `u` targeting `v_node`.
+fn find_sender(visits: &[Visit], u: NodeId, v_node: NodeId, exclude: usize) -> Option<usize> {
+    // Exact target match first, then senders with unknown targets.
+    let candidate = |want_exact: bool| {
+        visits.iter().enumerate().position(|(i, s)| {
+            i != exclude
+                && s.node == u
+                && s.next.is_none()
+                && matches!(s.role, Role::Source | Role::Forwarder | Role::Sink)
+                && if want_exact {
+                    s.exit_to == Some(v_node)
+                        || (s.node != BASE_STATION
+                            && v_node == BASE_STATION
+                            && s.role == Role::Sink)
+                } else {
+                    s.exit_to.is_none()
+                }
+        })
+    };
+    candidate(true).or_else(|| candidate(false))
+}
+
+/// Find the sender visit at `u` that a duplicate arrival at `v_node` came
+/// from: the latest visit at `u` whose exit targets `v_node`, linked or not
+/// (a retransmission re-uses the same MAC slot the original send did).
+fn find_retransmitter(
+    visits: &[Visit],
+    u: NodeId,
+    v_node: NodeId,
+    exclude: usize,
+) -> Option<usize> {
+    visits
+        .iter()
+        .enumerate()
+        .filter(|(i, s)| {
+            *i != exclude
+                && s.node == u
+                && s.exit_to == Some(v_node)
+                && matches!(s.role, Role::Source | Role::Forwarder)
+        })
+        .map(|(i, _)| i)
+        .next_back()
+}
+
+/// Find an unlinked receiver visit at node `v` expecting sender `u`.
+fn find_receiver(visits: &[Visit], v: NodeId, u: NodeId, exclude: usize) -> Option<usize> {
+    let candidate = |want_exact: bool| {
+        visits.iter().enumerate().position(|(i, r)| {
+            i != exclude
+                && r.node == v
+                && r.prev.is_none()
+                && matches!(r.role, Role::Forwarder | Role::Sink | Role::BaseStation)
+                && if want_exact {
+                    r.entry_from == Some(u)
+                } else {
+                    r.entry_from.is_none()
+                }
+        })
+    };
+    candidate(true).or_else(|| candidate(false))
+}
+
+/// Order visits chain-first: walk each chain from its head (a visit with no
+/// linked predecessor), main chain (containing the earliest-created head)
+/// first, then remaining chains in head order.
+fn chain_order(visits: &[Visit]) -> Vec<usize> {
+    let mut order = Vec::with_capacity(visits.len());
+    let mut placed = vec![false; visits.len()];
+    for head in 0..visits.len() {
+        if placed[head] || visits[head].prev.is_some() {
+            continue;
+        }
+        let mut cur = Some(head);
+        while let Some(vi) = cur {
+            if placed[vi] {
+                break;
+            }
+            placed[vi] = true;
+            order.push(vi);
+            cur = visits[vi].next;
+        }
+    }
+    // Safety: anything unplaced (cycles in prev links shouldn't happen, but
+    // never drop a visit).
+    for (vi, was_placed) in placed.iter().enumerate() {
+        if !was_placed {
+            order.push(vi);
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventlog::{merge_logs, LocalLog};
+
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    fn pid() -> PacketId {
+        PacketId::new(n(1), 0)
+    }
+
+    fn ev(node: u16, kind: EventKind) -> Event {
+        Event::new(n(node), kind, pid())
+    }
+
+    fn reconstruct(logs: Vec<LocalLog>) -> PacketReport {
+        let merged = merge_logs(&logs);
+        let recon = Reconstructor::new(CtpVocabulary::table2());
+        recon.reconstruct_packet(pid(), &merged.by_packet()[&pid()])
+    }
+
+    /// Table II, complete-log row.
+    #[test]
+    fn table2_complete_log() {
+        let report = reconstruct(vec![
+            LocalLog::from_events(
+                n(1),
+                vec![
+                    ev(1, EventKind::Trans { to: n(2) }),
+                    ev(1, EventKind::AckRecvd { to: n(2) }),
+                ],
+            ),
+            LocalLog::from_events(
+                n(2),
+                vec![
+                    ev(2, EventKind::Recv { from: n(1) }),
+                    ev(2, EventKind::Trans { to: n(3) }),
+                    ev(2, EventKind::AckRecvd { to: n(3) }),
+                ],
+            ),
+            LocalLog::from_events(n(3), vec![ev(3, EventKind::Recv { from: n(2) })]),
+        ]);
+        assert_eq!(
+            report.flow.to_string(),
+            "1-2 trans, 1-2 recv, 1-2 ack recvd, 2-3 trans, 2-3 recv, 2-3 ack recvd"
+        );
+        assert_eq!(report.flow.inferred_count(), 0);
+        assert_eq!(report.path, vec![n(1), n(2), n(3)]);
+        assert!(!report.delivered);
+        assert!(report.omitted.is_empty());
+    }
+
+    /// Table II, Case 1: node 2's log wholly lost.
+    #[test]
+    fn table2_case1() {
+        let report = reconstruct(vec![
+            LocalLog::from_events(n(1), vec![ev(1, EventKind::Trans { to: n(2) })]),
+            LocalLog::from_events(n(3), vec![ev(3, EventKind::Recv { from: n(2) })]),
+        ]);
+        assert_eq!(
+            report.flow.to_string(),
+            "1-2 trans, [1-2 recv], [2-3 trans], 2-3 recv"
+        );
+        assert_eq!(report.flow.inferred_count(), 2);
+        assert_eq!(report.path, vec![n(1), n(2), n(3)]);
+        // Node 2's engine exists but is a phantom.
+        assert!(report
+            .engines
+            .iter()
+            .any(|e| e.node == n(2) && e.phantom));
+    }
+
+    /// Table II, Case 2: sender saw trans + ack, receiver's log empty.
+    #[test]
+    fn table2_case2() {
+        let report = reconstruct(vec![LocalLog::from_events(
+            n(1),
+            vec![
+                ev(1, EventKind::Trans { to: n(2) }),
+                ev(1, EventKind::AckRecvd { to: n(2) }),
+            ],
+        )]);
+        assert_eq!(report.flow.to_string(), "1-2 trans, [1-2 recv], 1-2 ack recvd");
+    }
+
+    /// Table II, Case 3: ack recvd *precedes* trans in node 1's log —
+    /// a retransmission whose first attempt's events were lost.
+    #[test]
+    fn table2_case3() {
+        let report = reconstruct(vec![LocalLog::from_events(
+            n(1),
+            vec![
+                ev(1, EventKind::AckRecvd { to: n(2) }),
+                ev(1, EventKind::Trans { to: n(2) }),
+            ],
+        )]);
+        assert_eq!(
+            report.flow.to_string(),
+            "[1-2 trans], [1-2 recv], 1-2 ack recvd, 1-2 trans"
+        );
+        // Two visits at node 1: the acked attempt and the retransmission.
+        let n1_engines: Vec<_> = report.engines.iter().filter(|e| e.node == n(1)).collect();
+        assert_eq!(n1_engines.len(), 2);
+    }
+
+    /// Table II, Case 4: a routing loop (1 → 2 → 3 → 1 → 2) with the second
+    /// `1-2 recv` lost; the packet dies on node 2's second transmission.
+    #[test]
+    fn table2_case4() {
+        let report = reconstruct(vec![
+            LocalLog::from_events(
+                n(1),
+                vec![
+                    ev(1, EventKind::Trans { to: n(2) }),
+                    ev(1, EventKind::AckRecvd { to: n(2) }),
+                    ev(1, EventKind::Recv { from: n(3) }),
+                    ev(1, EventKind::Trans { to: n(2) }),
+                    ev(1, EventKind::AckRecvd { to: n(2) }),
+                ],
+            ),
+            LocalLog::from_events(
+                n(2),
+                vec![
+                    ev(2, EventKind::Recv { from: n(1) }),
+                    ev(2, EventKind::Trans { to: n(3) }),
+                    ev(2, EventKind::AckRecvd { to: n(3) }),
+                    ev(2, EventKind::Trans { to: n(3) }),
+                ],
+            ),
+            LocalLog::from_events(
+                n(3),
+                vec![
+                    ev(3, EventKind::Recv { from: n(2) }),
+                    ev(3, EventKind::Trans { to: n(1) }),
+                    ev(3, EventKind::AckRecvd { to: n(1) }),
+                ],
+            ),
+        ]);
+        assert_eq!(
+            report.flow.to_string(),
+            "1-2 trans, 1-2 recv, 1-2 ack recvd, 2-3 trans, 2-3 recv, 2-3 ack recvd, \
+             3-1 trans, 3-1 recv, 3-1 ack recvd, 1-2 trans, [1-2 recv], 1-2 ack recvd, 2-3 trans"
+        );
+        assert_eq!(report.path, vec![n(1), n(2), n(3), n(1), n(2), n(3)]);
+        // Loop: nodes 1 and 2 each have two engines.
+        for node in [1u16, 2] {
+            assert_eq!(
+                report.engines.iter().filter(|e| e.node == n(node)).count(),
+                2,
+                "node {node} should have two visits"
+            );
+        }
+    }
+
+    #[test]
+    fn sink_and_base_station_chain() {
+        // 1 → 0 (sink) → base station, everything logged.
+        let logs = vec![
+            LocalLog::from_events(
+                n(1),
+                vec![
+                    ev(1, EventKind::Trans { to: n(0) }),
+                    ev(1, EventKind::AckRecvd { to: n(0) }),
+                ],
+            ),
+            LocalLog::from_events(
+                n(0),
+                vec![
+                    ev(0, EventKind::Recv { from: n(1) }),
+                    ev(0, EventKind::SerialTrans),
+                ],
+            ),
+            LocalLog::from_events(
+                BASE_STATION,
+                vec![Event::new(BASE_STATION, EventKind::BsRecv, pid())],
+            ),
+        ];
+        let merged = merge_logs(&logs);
+        let recon = Reconstructor::new(CtpVocabulary::table2()).with_sink(n(0));
+        let report = recon.reconstruct_packet(pid(), &merged.by_packet()[&pid()]);
+        assert!(report.delivered);
+        assert_eq!(
+            report.flow.to_string(),
+            "1-0 trans, 1-0 recv, 1-0 ack recvd, n0 serial trans, n65535 bs recv"
+        );
+        assert_eq!(report.path, vec![n(1), n(0), BASE_STATION]);
+    }
+
+    #[test]
+    fn bs_record_alone_reconstructs_the_serial_tail() {
+        // Only the base station logged the packet; with a pinned sink, the
+        // sink's recv and serial trans are inferred.
+        let logs = vec![LocalLog::from_events(
+            BASE_STATION,
+            vec![Event::new(BASE_STATION, EventKind::BsRecv, pid())],
+        )];
+        let merged = merge_logs(&logs);
+        let recon = Reconstructor::new(CtpVocabulary::table2()).with_sink(n(0));
+        let report = recon.reconstruct_packet(pid(), &merged.by_packet()[&pid()]);
+        assert!(report.delivered);
+        assert!(report.flow.to_string().contains("[n0 serial trans]"));
+        assert_eq!(report.flow.observed_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_drop_satisfies_ack_prerequisite() {
+        // Receiver dup-dropped; the sender's ack must not force a recv.
+        let report = reconstruct(vec![
+            LocalLog::from_events(
+                n(1),
+                vec![
+                    ev(1, EventKind::Trans { to: n(2) }),
+                    ev(1, EventKind::AckRecvd { to: n(2) }),
+                ],
+            ),
+            LocalLog::from_events(n(2), vec![ev(2, EventKind::Dup { from: n(1) })]),
+        ]);
+        assert_eq!(report.flow.to_string(), "1-2 trans, 1-2 dup, 1-2 ack recvd");
+        assert_eq!(report.flow.inferred_count(), 0);
+    }
+
+    #[test]
+    fn overflow_infers_lost_recv() {
+        let report = reconstruct(vec![
+            LocalLog::from_events(n(1), vec![ev(1, EventKind::Trans { to: n(2) })]),
+            LocalLog::from_events(n(2), vec![ev(2, EventKind::Overflow { from: n(1) })]),
+        ]);
+        assert_eq!(report.flow.to_string(), "1-2 trans, [1-2 recv], 1-2 overflow");
+    }
+
+    #[test]
+    fn origin_vocabulary_infers_lost_origin() {
+        let merged = merge_logs(&[LocalLog::from_events(
+            n(1),
+            vec![ev(1, EventKind::Trans { to: n(2) })],
+        )]);
+        let recon = Reconstructor::new(CtpVocabulary::citysee());
+        let report = recon.reconstruct_packet(pid(), &merged.by_packet()[&pid()]);
+        assert_eq!(report.flow.to_string(), "[n1 origin], 1-2 trans");
+    }
+
+    #[test]
+    fn timeout_event_closes_the_flow() {
+        let report = reconstruct(vec![LocalLog::from_events(
+            n(1),
+            vec![
+                ev(1, EventKind::Trans { to: n(2) }),
+                ev(1, EventKind::Trans { to: n(2) }),
+                ev(1, EventKind::Timeout { to: n(2) }),
+            ],
+        )]);
+        assert_eq!(
+            report.flow.to_string(),
+            "1-2 trans, 1-2 trans, 1-2 timeout"
+        );
+    }
+
+    #[test]
+    fn reconstruct_log_is_sorted_and_complete() {
+        let p1 = PacketId::new(n(1), 0);
+        let p2 = PacketId::new(n(1), 1);
+        let logs = vec![LocalLog::from_events(
+            n(1),
+            vec![
+                Event::new(n(1), EventKind::Trans { to: n(2) }, p2),
+                Event::new(n(1), EventKind::Trans { to: n(2) }, p1),
+            ],
+        )];
+        let merged = merge_logs(&logs);
+        let recon = Reconstructor::new(CtpVocabulary::table2());
+        let reports = recon.reconstruct_log(&merged);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].packet, p1);
+        assert_eq!(reports[1].packet, p2);
+    }
+
+    #[test]
+    fn loop_detection_from_reconstructed_path() {
+        // Case 4's loop revisits nodes 1 and 2.
+        let report = reconstruct(vec![
+            LocalLog::from_events(
+                n(1),
+                vec![
+                    ev(1, EventKind::Trans { to: n(2) }),
+                    ev(1, EventKind::AckRecvd { to: n(2) }),
+                    ev(1, EventKind::Recv { from: n(3) }),
+                    ev(1, EventKind::Trans { to: n(2) }),
+                ],
+            ),
+            LocalLog::from_events(
+                n(2),
+                vec![
+                    ev(2, EventKind::Recv { from: n(1) }),
+                    ev(2, EventKind::Trans { to: n(3) }),
+                    ev(2, EventKind::AckRecvd { to: n(3) }),
+                ],
+            ),
+            LocalLog::from_events(
+                n(3),
+                vec![
+                    ev(3, EventKind::Recv { from: n(2) }),
+                    ev(3, EventKind::Trans { to: n(1) }),
+                    ev(3, EventKind::AckRecvd { to: n(1) }),
+                ],
+            ),
+        ]);
+        assert!(report.has_routing_loop());
+        assert!(report.hops_completed() >= 3);
+
+        // A straight chain has no loop.
+        let straight = reconstruct(vec![
+            LocalLog::from_events(n(1), vec![ev(1, EventKind::Trans { to: n(2) })]),
+            LocalLog::from_events(n(3), vec![ev(3, EventKind::Recv { from: n(2) })]),
+        ]);
+        assert!(!straight.has_routing_loop());
+        assert_eq!(straight.hops_completed(), 2);
+    }
+
+    #[test]
+    fn mutual_loop_evidence_terminates() {
+        // Two nodes each claim to have received from and sent to the other
+        // (a routing loop whose distinct visits collapsed under log loss):
+        // the next-links form a cycle, which must not hang the path walk.
+        let report = reconstruct(vec![
+            LocalLog::from_events(
+                n(1),
+                vec![
+                    ev(1, EventKind::Recv { from: n(2) }),
+                    ev(1, EventKind::Trans { to: n(2) }),
+                ],
+            ),
+            LocalLog::from_events(
+                n(2),
+                vec![
+                    ev(2, EventKind::Recv { from: n(1) }),
+                    ev(2, EventKind::Trans { to: n(1) }),
+                ],
+            ),
+        ]);
+        assert!(report.path.len() <= report.engines.len());
+        assert!(report.flow.is_consistent());
+        assert_eq!(report.flow.observed_count() + report.omitted.len(), 4);
+    }
+
+    #[test]
+    fn unprocessable_event_is_omitted_not_lost() {
+        // A bs-recv event recorded on an ordinary node makes no sense to the
+        // forwarder machine and must surface in `omitted`.
+        let report = reconstruct(vec![LocalLog::from_events(
+            n(2),
+            vec![
+                ev(2, EventKind::Recv { from: n(1) }),
+                ev(2, EventKind::BsRecv),
+            ],
+        )]);
+        assert_eq!(report.omitted.len(), 1);
+        assert!(matches!(report.omitted[0].kind, EventKind::BsRecv));
+    }
+}

@@ -1,0 +1,173 @@
+//! Log archives: JSON-lines serialization of collected logs.
+//!
+//! The analysis side (a PC in the paper) consumes logs offline; this module
+//! gives the reproduction a stable on-disk interchange format so simulated
+//! runs can be archived, shipped and re-analyzed without re-simulating.
+
+use crate::logger::{LocalLog, LogEntry};
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, Write};
+
+/// One line of the archive: a node's log entry tagged with its node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ArchiveLine {
+    node: u16,
+    entry: LogEntry,
+}
+
+/// Write a set of local logs as JSON lines.
+///
+/// Entries are written log-by-log so each node's order is explicit in the
+/// file; readers regroup by node.
+pub fn write_logs<W: Write>(logs: &[LocalLog], mut w: W) -> io::Result<()> {
+    for log in logs {
+        for entry in &log.entries {
+            let line = ArchiveLine {
+                node: log.node.0,
+                entry: *entry,
+            };
+            serde_json::to_writer(&mut w, &line)?;
+            w.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+/// Read logs back from JSON lines. Per-node order is the file order of that
+/// node's lines.
+pub fn read_logs<R: BufRead>(r: R) -> io::Result<Vec<LocalLog>> {
+    use netsim::NodeId;
+    let mut by_node: Vec<LocalLog> = Vec::new();
+    let mut index: rustc_hash::FxHashMap<u16, usize> = rustc_hash::FxHashMap::default();
+    for line in r.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed: ArchiveLine = serde_json::from_str(&line)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let idx = *index.entry(parsed.node).or_insert_with(|| {
+            by_node.push(LocalLog::new(NodeId(parsed.node)));
+            by_node.len() - 1
+        });
+        by_node[idx].entries.push(parsed.entry);
+    }
+    Ok(by_node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind, PacketId};
+    use netsim::NodeId;
+
+    fn sample_logs() -> Vec<LocalLog> {
+        let p = PacketId::new(NodeId(1), 0);
+        vec![
+            LocalLog::from_events(
+                NodeId(1),
+                vec![
+                    Event::new(NodeId(1), EventKind::Origin, p),
+                    Event::new(NodeId(1), EventKind::Trans { to: NodeId(2) }, p),
+                ],
+            ),
+            LocalLog::from_events(
+                NodeId(2),
+                vec![Event::new(NodeId(2), EventKind::Recv { from: NodeId(1) }, p)],
+            ),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_logs() {
+        let logs = sample_logs();
+        let mut buf = Vec::new();
+        write_logs(&logs, &mut buf).unwrap();
+        let back = read_logs(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back.len(), 2);
+        for (orig, got) in logs.iter().zip(&back) {
+            assert_eq!(orig.node, got.node);
+            assert_eq!(orig.entries, got.entries);
+        }
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        let mut buf = Vec::new();
+        write_logs(&[], &mut buf).unwrap();
+        assert!(buf.is_empty());
+        let back = read_logs(io::BufReader::new(&buf[..])).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let logs = sample_logs();
+        let mut buf = Vec::new();
+        write_logs(&logs, &mut buf).unwrap();
+        buf.extend_from_slice(b"\n\n");
+        let back = read_logs(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn corrupt_line_is_an_error() {
+        let back = read_logs(io::BufReader::new(&b"not json\n"[..]));
+        assert!(back.is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::event::{Event, EventKind, PacketId};
+    use crate::logger::LocalLog;
+    use netsim::NodeId;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Archive write→read is an exact round trip for arbitrary logs.
+        #[test]
+        fn roundtrip_is_lossless(
+            logs in proptest::collection::vec(
+                (0u16..50, proptest::collection::vec((0u8..5, 0u32..100, proptest::option::of(0u64..1_000_000)), 0..15)),
+                0..6,
+            )
+        ) {
+            let locals: Vec<LocalLog> = logs
+                .iter()
+                .enumerate()
+                .map(|(i, (peer, entries))| LocalLog {
+                    node: NodeId(i as u16),
+                    entries: entries
+                        .iter()
+                        .map(|&(kind, seq, ts)| crate::logger::LogEntry {
+                            event: Event::new(
+                                NodeId(i as u16),
+                                match kind {
+                                    0 => EventKind::Recv { from: NodeId(*peer) },
+                                    1 => EventKind::Trans { to: NodeId(*peer) },
+                                    2 => EventKind::AckRecvd { to: NodeId(*peer) },
+                                    3 => EventKind::Origin,
+                                    _ => EventKind::SerialTrans,
+                                },
+                                PacketId::new(NodeId(*peer), seq),
+                            ),
+                            local_ts: ts,
+                        })
+                        .collect(),
+                })
+                .collect();
+            let mut buf = Vec::new();
+            write_logs(&locals, &mut buf).unwrap();
+            let back = read_logs(std::io::BufReader::new(&buf[..])).unwrap();
+            // Empty logs produce no lines, so compare non-empty ones.
+            let nonempty: Vec<&LocalLog> = locals.iter().filter(|l| !l.is_empty()).collect();
+            prop_assert_eq!(back.len(), nonempty.len());
+            for (orig, got) in nonempty.iter().zip(&back) {
+                prop_assert_eq!(orig.node, got.node);
+                prop_assert_eq!(&orig.entries, &got.entries);
+            }
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! The event model: `E = (V, L, I)`.
+//!
+//! `V` is the event type ([`EventKind`] variant), `L` is the recording node
+//! ([`Event::node`]), and `I` is the related information — the packet
+//! identity plus, for two-party operations, the peer node. This matches
+//! Table I of the paper: `n1-n2 recv` becomes
+//! `Event { node: n2, kind: Recv { from: n1 }, packet }`, and so on.
+//!
+//! Occurrence time is deliberately *not* part of the model; the simulator's
+//! ground truth keeps true timestamps separately, and local logs may attach
+//! skewed local timestamps, but REFILL never reads either.
+
+use netsim::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-origin packet sequence number.
+pub type SeqNo = u32;
+
+/// Globally unique packet identity: the originating node plus its
+/// monotonically increasing sequence number. This is the paper's "related
+/// packet" information `I`, present on every packet-bound event.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PacketId {
+    /// Node that generated the packet.
+    pub origin: NodeId,
+    /// Sequence number assigned by the origin.
+    pub seqno: SeqNo,
+}
+
+impl PacketId {
+    /// Construct a packet id.
+    pub fn new(origin: NodeId, seqno: SeqNo) -> Self {
+        PacketId { origin, seqno }
+    }
+}
+
+impl fmt::Display for PacketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.origin, self.seqno)
+    }
+}
+
+/// The pseudo node id used for the base station (the PC behind the sink's
+/// serial link). It keeps a reliable log of received data packets — in the
+/// real deployment this is simply the collected-data database.
+pub const BASE_STATION: NodeId = NodeId(u16::MAX);
+
+/// Event types (`V`), with the peer node of two-party operations inlined as
+/// the related information (`I`).
+///
+/// The first five variants are exactly Table I of the paper; the rest are
+/// the additional kinds the CitySee evaluation needs (packet generation,
+/// retransmission give-up, the sink's serial hop, and the base station's
+/// receive record).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// The packet was received from `from`. Recorded on the receiver, in the
+    /// network-layer receive handler (i.e. *after* the hardware ACK went
+    /// out — a packet can be hardware-acked yet never reach this log
+    /// statement; that is the paper's "acked loss").
+    Recv {
+        /// Previous-hop sender.
+        from: NodeId,
+    },
+    /// No queue space for the packet from `from`; the packet was discarded.
+    /// Recorded on the receiver.
+    Overflow {
+        /// Previous-hop sender.
+        from: NodeId,
+    },
+    /// A duplicate of an already-seen packet arrived from `from` and was
+    /// discarded (typically a symptom of routing loops or lost ACKs).
+    /// Recorded on the receiver.
+    Dup {
+        /// Previous-hop sender.
+        from: NodeId,
+    },
+    /// The packet was transmitted to `to`. Recorded on the sender; repeated
+    /// for every retransmission attempt.
+    Trans {
+        /// Next-hop receiver.
+        to: NodeId,
+    },
+    /// An acknowledgement for the packet sent to `to` was received.
+    /// Recorded on the sender.
+    AckRecvd {
+        /// Next-hop receiver that acked.
+        to: NodeId,
+    },
+    /// The packet was generated at this node (application layer).
+    Origin,
+    /// The packet was put into the forwarding queue.
+    Enqueue,
+    /// Retransmissions to `to` were exhausted and the packet was dropped.
+    /// Recorded on the sender.
+    Timeout {
+        /// Next-hop receiver that never acked.
+        to: NodeId,
+    },
+    /// The sink pushed the packet onto the RS232 serial link toward the
+    /// backbone mesh node. Recorded on the sink.
+    SerialTrans,
+    /// The base station received the packet from the serial link. Recorded
+    /// in the base station's (reliable) log.
+    BsRecv,
+    /// Application-layer delivery on a node (used by non-CTP protocols and
+    /// custom FSMs).
+    Deliver,
+    /// An escape hatch for user-defined protocols: an opaque event type.
+    Custom(u16),
+}
+
+impl EventKind {
+    /// The peer node for two-party operations (`None` for local events).
+    pub fn peer(&self) -> Option<NodeId> {
+        match *self {
+            EventKind::Recv { from }
+            | EventKind::Overflow { from }
+            | EventKind::Dup { from } => Some(from),
+            EventKind::Trans { to }
+            | EventKind::AckRecvd { to }
+            | EventKind::Timeout { to } => Some(to),
+            _ => None,
+        }
+    }
+
+    /// True if this kind is recorded on the *receiving* side of a hop.
+    pub fn is_receiver_side(&self) -> bool {
+        matches!(
+            self,
+            EventKind::Recv { .. } | EventKind::Overflow { .. } | EventKind::Dup { .. }
+        )
+    }
+
+    /// True if this kind is recorded on the *sending* side of a hop.
+    pub fn is_sender_side(&self) -> bool {
+        matches!(
+            self,
+            EventKind::Trans { .. } | EventKind::AckRecvd { .. } | EventKind::Timeout { .. }
+        )
+    }
+
+    /// The hop `(sender, receiver)` this event is evidence of, given the node
+    /// it was recorded on. Local events return `None`.
+    pub fn hop(&self, recorded_on: NodeId) -> Option<(NodeId, NodeId)> {
+        match *self {
+            EventKind::Recv { from }
+            | EventKind::Overflow { from }
+            | EventKind::Dup { from } => Some((from, recorded_on)),
+            EventKind::Trans { to }
+            | EventKind::AckRecvd { to }
+            | EventKind::Timeout { to } => Some((recorded_on, to)),
+            _ => None,
+        }
+    }
+
+    /// A short name matching the paper's notation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Recv { .. } => "recv",
+            EventKind::Overflow { .. } => "overflow",
+            EventKind::Dup { .. } => "dup",
+            EventKind::Trans { .. } => "trans",
+            EventKind::AckRecvd { .. } => "ack recvd",
+            EventKind::Origin => "origin",
+            EventKind::Enqueue => "enqueue",
+            EventKind::Timeout { .. } => "timeout",
+            EventKind::SerialTrans => "serial trans",
+            EventKind::BsRecv => "bs recv",
+            EventKind::Deliver => "deliver",
+            EventKind::Custom(_) => "custom",
+        }
+    }
+}
+
+/// A recorded event: the paper's `E = (V, L, I)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Event {
+    /// `L` — the node whose log contains this event.
+    pub node: NodeId,
+    /// `V` (+ peer part of `I`).
+    pub kind: EventKind,
+    /// Packet part of `I`.
+    pub packet: PacketId,
+}
+
+impl Event {
+    /// Construct an event.
+    pub fn new(node: NodeId, kind: EventKind, packet: PacketId) -> Self {
+        Event { node, kind, packet }
+    }
+}
+
+impl fmt::Display for Event {
+    /// Formats in the paper's `sender-receiver kind` notation where a hop is
+    /// known, e.g. `1-2 trans`, otherwise `node kind`, e.g. `n3 origin`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind.hop(self.node) {
+            Some((s, r)) => write!(f, "{}-{} {}", s.0, r.0, self.kind.name()),
+            None => write!(f, "{} {}", self.node, self.kind.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid() -> PacketId {
+        PacketId::new(NodeId(1), 7)
+    }
+
+    #[test]
+    fn hop_orientation_receiver_side() {
+        let k = EventKind::Recv { from: NodeId(1) };
+        assert_eq!(k.hop(NodeId(2)), Some((NodeId(1), NodeId(2))));
+        assert!(k.is_receiver_side());
+        assert!(!k.is_sender_side());
+    }
+
+    #[test]
+    fn hop_orientation_sender_side() {
+        let k = EventKind::Trans { to: NodeId(2) };
+        assert_eq!(k.hop(NodeId(1)), Some((NodeId(1), NodeId(2))));
+        assert!(k.is_sender_side());
+    }
+
+    #[test]
+    fn local_events_have_no_hop() {
+        assert_eq!(EventKind::Origin.hop(NodeId(3)), None);
+        assert_eq!(EventKind::Origin.peer(), None);
+        assert_eq!(EventKind::SerialTrans.hop(NodeId(0)), None);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let e = Event::new(NodeId(1), EventKind::Trans { to: NodeId(2) }, pid());
+        assert_eq!(e.to_string(), "1-2 trans");
+        let e = Event::new(NodeId(2), EventKind::Recv { from: NodeId(1) }, pid());
+        assert_eq!(e.to_string(), "1-2 recv");
+        let e = Event::new(NodeId(1), EventKind::AckRecvd { to: NodeId(2) }, pid());
+        assert_eq!(e.to_string(), "1-2 ack recvd");
+        let e = Event::new(NodeId(3), EventKind::Origin, pid());
+        assert_eq!(e.to_string(), "n3 origin");
+    }
+
+    #[test]
+    fn packet_id_display_and_ordering() {
+        let a = PacketId::new(NodeId(1), 1);
+        let b = PacketId::new(NodeId(1), 2);
+        let c = PacketId::new(NodeId(2), 0);
+        assert!(a < b && b < c);
+        assert_eq!(a.to_string(), "n1#1");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = Event::new(NodeId(2), EventKind::Dup { from: NodeId(9) }, pid());
+        let s = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&s).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn base_station_is_reserved() {
+        assert_eq!(BASE_STATION, NodeId(u16::MAX));
+    }
+}

@@ -1,0 +1,30 @@
+//! # eventlog — events, lossy local logs, and log collection
+//!
+//! This crate implements the paper's data model: an event is a tuple
+//! `E = (V, L, I)` — an event *type*, the *location* (node) where it was
+//! recorded, and *related information* (here: the packet identity and the
+//! peer node for two-party operations). Events are recorded into per-node
+//! local logs whose only guaranteed property is that **each node's own
+//! ordering is preserved**; timestamps are optional, unsynchronized, and
+//! never relied upon by REFILL itself.
+//!
+//! The crate also models everything that makes real logs hard to use:
+//! bounded log buffers, write failures, node reboots that truncate logs,
+//! lossy in-network collection, and per-node clock skew.
+
+pub mod archive;
+pub mod clock;
+pub mod collect;
+pub mod event;
+pub mod fate;
+pub mod logger;
+pub mod merge;
+
+pub use clock::ClockModel;
+pub use collect::{CollectionConfig, LossyCollector};
+pub use event::{Event, EventKind, PacketId, SeqNo};
+pub use fate::{GroundTruth, LossCause, PacketFate, TruthEvent};
+pub use logger::{LocalLog, LogEntry, LoggerConfig, NodeLogger};
+pub use merge::{merge_logs, MergedLog};
+
+pub use netsim::{NodeId, SimTime};

@@ -1,0 +1,292 @@
+//! Lossy per-node local logging.
+//!
+//! A node's logger is a bounded buffer in scarce RAM/flash. Three loss
+//! mechanisms are modelled, all observed in the CitySee deployment:
+//!
+//! 1. **Write failure** — a log write can silently fail (flash busy, task
+//!    queue full) with a configurable probability.
+//! 2. **Buffer overflow** — once the buffer holds `capacity` unflushed
+//!    entries, further writes are dropped until a flush.
+//! 3. **Reboot truncation** — a node reboot loses every entry not yet
+//!    flushed to stable storage.
+//!
+//! What is *never* violated: entries that do survive keep their recording
+//! order. That per-node ordering is the only guarantee REFILL relies on.
+
+use crate::clock::NodeClock;
+use crate::event::Event;
+use netsim::{NodeId, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One surviving log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// The recorded event.
+    pub event: Event,
+    /// Local (skewed) timestamp, if the deployment logs timestamps at all.
+    pub local_ts: Option<u64>,
+}
+
+/// A node's local log: the entries that survived, in recording order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LocalLog {
+    /// The owning node.
+    pub node: NodeId,
+    /// Surviving entries in recording order.
+    pub entries: Vec<LogEntry>,
+}
+
+impl LocalLog {
+    /// An empty log for `node`.
+    pub fn new(node: NodeId) -> Self {
+        LocalLog {
+            node,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Build a log directly from events (timestampless) — convenient for
+    /// hand-written test cases like Table II.
+    pub fn from_events(node: NodeId, events: impl IntoIterator<Item = Event>) -> Self {
+        LocalLog {
+            node,
+            entries: events
+                .into_iter()
+                .map(|event| LogEntry {
+                    event,
+                    local_ts: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Iterate over the events in recording order.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.entries.iter().map(|e| &e.event)
+    }
+
+    /// Number of surviving entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing survived.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Logging behaviour knobs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LoggerConfig {
+    /// Probability that any individual write silently fails.
+    pub write_failure_prob: f64,
+    /// Unflushed-buffer capacity; writes beyond it are dropped.
+    pub buffer_capacity: usize,
+    /// Whether entries carry local timestamps.
+    pub timestamps: bool,
+}
+
+impl Default for LoggerConfig {
+    fn default() -> Self {
+        LoggerConfig {
+            write_failure_prob: 0.01,
+            buffer_capacity: 256,
+            timestamps: true,
+        }
+    }
+}
+
+impl LoggerConfig {
+    /// A lossless logger (for ground-truth-equivalent logs in tests).
+    pub fn lossless() -> Self {
+        LoggerConfig {
+            write_failure_prob: 0.0,
+            buffer_capacity: usize::MAX,
+            timestamps: true,
+        }
+    }
+}
+
+/// The recording side: buffers writes, flushes to the stable log, loses
+/// entries per the configured mechanisms.
+#[derive(Debug, Clone)]
+pub struct NodeLogger {
+    config: LoggerConfig,
+    clock: NodeClock,
+    stable: LocalLog,
+    buffer: Vec<LogEntry>,
+    dropped_write_failure: u64,
+    dropped_overflow: u64,
+    dropped_reboot: u64,
+}
+
+impl NodeLogger {
+    /// A logger for `node`.
+    pub fn new(node: NodeId, config: LoggerConfig, clock: NodeClock) -> Self {
+        NodeLogger {
+            config,
+            clock,
+            stable: LocalLog::new(node),
+            buffer: Vec::new(),
+            dropped_write_failure: 0,
+            dropped_overflow: 0,
+            dropped_reboot: 0,
+        }
+    }
+
+    /// Attempt to record `event` at true time `at`. Returns whether the
+    /// write landed in the buffer.
+    pub fn record<R: Rng>(&mut self, event: Event, at: SimTime, rng: &mut R) -> bool {
+        if self.config.write_failure_prob > 0.0
+            && rng.gen::<f64>() < self.config.write_failure_prob
+        {
+            self.dropped_write_failure += 1;
+            return false;
+        }
+        if self.buffer.len() >= self.config.buffer_capacity {
+            self.dropped_overflow += 1;
+            return false;
+        }
+        self.buffer.push(LogEntry {
+            event,
+            local_ts: self.config.timestamps.then(|| self.clock.local_time(at)),
+        });
+        true
+    }
+
+    /// Flush the buffer to stable storage.
+    pub fn flush(&mut self) {
+        self.stable.entries.append(&mut self.buffer);
+    }
+
+    /// A reboot: everything unflushed is gone.
+    pub fn reboot(&mut self) {
+        self.dropped_reboot += self.buffer.len() as u64;
+        self.buffer.clear();
+    }
+
+    /// Finish recording: flush and take the stable log.
+    pub fn into_log(mut self) -> LocalLog {
+        self.flush();
+        self.stable
+    }
+
+    /// Entries lost to each mechanism: `(write_failure, overflow, reboot)`.
+    pub fn drop_counts(&self) -> (u64, u64, u64) {
+        (
+            self.dropped_write_failure,
+            self.dropped_overflow,
+            self.dropped_reboot,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, PacketId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ev(n: u16, s: u32) -> Event {
+        Event::new(
+            NodeId(n),
+            EventKind::Origin,
+            PacketId::new(NodeId(n), s),
+        )
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn lossless_logger_keeps_everything_in_order() {
+        let mut l = NodeLogger::new(NodeId(1), LoggerConfig::lossless(), NodeClock::PERFECT);
+        let mut r = rng();
+        for s in 0..100 {
+            assert!(l.record(ev(1, s), SimTime::from_secs(u64::from(s)), &mut r));
+        }
+        let log = l.into_log();
+        assert_eq!(log.len(), 100);
+        for (i, entry) in log.entries.iter().enumerate() {
+            assert_eq!(entry.event.packet.seqno, i as u32);
+        }
+    }
+
+    #[test]
+    fn write_failures_drop_events() {
+        let cfg = LoggerConfig {
+            write_failure_prob: 0.5,
+            buffer_capacity: usize::MAX,
+            timestamps: false,
+        };
+        let mut l = NodeLogger::new(NodeId(1), cfg, NodeClock::PERFECT);
+        let mut r = rng();
+        for s in 0..1000 {
+            l.record(ev(1, s), SimTime::ZERO, &mut r);
+        }
+        let (wf, _, _) = l.drop_counts();
+        assert!(wf > 300 && wf < 700, "write failures: {wf}");
+        let log = l.into_log();
+        assert_eq!(log.len() as u64, 1000 - wf);
+    }
+
+    #[test]
+    fn buffer_overflow_drops_until_flush() {
+        let cfg = LoggerConfig {
+            write_failure_prob: 0.0,
+            buffer_capacity: 3,
+            timestamps: false,
+        };
+        let mut l = NodeLogger::new(NodeId(1), cfg, NodeClock::PERFECT);
+        let mut r = rng();
+        for s in 0..5 {
+            l.record(ev(1, s), SimTime::ZERO, &mut r);
+        }
+        assert_eq!(l.drop_counts().1, 2);
+        l.flush();
+        assert!(l.record(ev(1, 99), SimTime::ZERO, &mut r));
+        let log = l.into_log();
+        assert_eq!(log.len(), 4);
+    }
+
+    #[test]
+    fn reboot_loses_unflushed_tail_only() {
+        let mut l = NodeLogger::new(NodeId(1), LoggerConfig::lossless(), NodeClock::PERFECT);
+        let mut r = rng();
+        l.record(ev(1, 0), SimTime::ZERO, &mut r);
+        l.record(ev(1, 1), SimTime::ZERO, &mut r);
+        l.flush();
+        l.record(ev(1, 2), SimTime::ZERO, &mut r);
+        l.reboot();
+        l.record(ev(1, 3), SimTime::ZERO, &mut r);
+        let log = l.into_log();
+        let seqnos: Vec<u32> = log.events().map(|e| e.packet.seqno).collect();
+        assert_eq!(seqnos, vec![0, 1, 3]);
+        // Surviving order is still recording order even with the gap.
+    }
+
+    #[test]
+    fn timestamps_use_local_clock() {
+        let clock = NodeClock {
+            offset_us: 1_000_000,
+            drift_ppm: 0.0,
+        };
+        let mut l = NodeLogger::new(NodeId(1), LoggerConfig::lossless(), clock);
+        let mut r = rng();
+        l.record(ev(1, 0), SimTime::from_secs(5), &mut r);
+        let log = l.into_log();
+        assert_eq!(log.entries[0].local_ts, Some(6_000_000));
+    }
+
+    #[test]
+    fn from_events_builder() {
+        let log = LocalLog::from_events(NodeId(2), vec![ev(2, 0), ev(2, 1)]);
+        assert_eq!(log.node, NodeId(2));
+        assert_eq!(log.len(), 2);
+        assert!(log.entries.iter().all(|e| e.local_ts.is_none()));
+    }
+}

@@ -1,0 +1,235 @@
+//! Merging per-node logs.
+//!
+//! The first step of the REFILL pipeline (Figure 1): "logs containing events
+//! from different nodes are first merged with ordering of events from the
+//! same node preserved." That per-node order is the *only* invariant; the
+//! interleaving across nodes is a heuristic (by local timestamp when
+//! available, else round-robin) and downstream analysis must not trust it —
+//! fixing the cross-node order is precisely REFILL's job.
+
+use crate::event::{Event, PacketId};
+use crate::logger::LocalLog;
+use netsim::NodeId;
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+
+/// The merged event stream.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MergedLog {
+    /// Events in merged order. Per-node subsequences preserve recording
+    /// order; cross-node order is best-effort only.
+    pub events: Vec<Event>,
+}
+
+impl MergedLog {
+    /// Group the merged events by packet, preserving merged order within
+    /// each group (and therefore per-node recording order).
+    pub fn by_packet(&self) -> FxHashMap<PacketId, Vec<Event>> {
+        let mut out: FxHashMap<PacketId, Vec<Event>> = FxHashMap::default();
+        for &e in &self.events {
+            out.entry(e.packet).or_default().push(e);
+        }
+        out
+    }
+
+    /// All packet ids mentioned anywhere in the merged log, sorted.
+    pub fn packet_ids(&self) -> Vec<PacketId> {
+        let mut ids: Vec<PacketId> = self.by_packet().into_keys().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The subsequence of events recorded on `node`, in order.
+    pub fn node_events(&self, node: NodeId) -> Vec<Event> {
+        self.events.iter().filter(|e| e.node == node).copied().collect()
+    }
+
+    /// Number of merged events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events were collected at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Merge local logs into one stream.
+///
+/// When every involved entry carries a local timestamp we k-way-merge by
+/// `(local_ts, node)` — skewed but usually a decent interleaving. Entries
+/// without timestamps fall back to a round-robin interleave. Either way each
+/// node's own order is preserved exactly.
+pub fn merge_logs(logs: &[LocalLog]) -> MergedLog {
+    let all_timestamped = logs
+        .iter()
+        .flat_map(|l| l.entries.iter())
+        .all(|e| e.local_ts.is_some());
+    let events = if all_timestamped {
+        merge_by_timestamp(logs)
+    } else {
+        merge_round_robin(logs)
+    };
+    MergedLog { events }
+}
+
+fn merge_by_timestamp(logs: &[LocalLog]) -> Vec<Event> {
+    // K-way merge with per-log cursors: pop the cursor with the smallest
+    // (local_ts, node) head. Stable within a node by construction.
+    let mut cursors: Vec<(usize, &LocalLog)> = logs.iter().map(|l| (0usize, l)).collect();
+    let total: usize = logs.iter().map(|l| l.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    loop {
+        let mut best: Option<(u64, NodeId, usize)> = None;
+        for (ci, (pos, log)) in cursors.iter().enumerate() {
+            if let Some(entry) = log.entries.get(*pos) {
+                let ts = entry.local_ts.unwrap_or(0);
+                let key = (ts, log.node, ci);
+                if best.is_none_or(|(bt, bn, _)| (ts, log.node) < (bt, bn)) {
+                    best = Some(key);
+                }
+            }
+        }
+        match best {
+            Some((_, _, ci)) => {
+                let (pos, log) = &mut cursors[ci];
+                out.push(log.entries[*pos].event);
+                *pos += 1;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+fn merge_round_robin(logs: &[LocalLog]) -> Vec<Event> {
+    let total: usize = logs.iter().map(|l| l.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut positions = vec![0usize; logs.len()];
+    let mut remaining = total;
+    while remaining > 0 {
+        for (i, log) in logs.iter().enumerate() {
+            if let Some(entry) = log.entries.get(positions[i]) {
+                out.push(entry.event);
+                positions[i] += 1;
+                remaining -= 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::logger::LogEntry;
+
+    fn ev(node: u16, seqno: u32) -> Event {
+        Event::new(
+            NodeId(node),
+            EventKind::Origin,
+            PacketId::new(NodeId(node), seqno),
+        )
+    }
+
+    fn log_ts(node: u16, entries: &[(u32, u64)]) -> LocalLog {
+        LocalLog {
+            node: NodeId(node),
+            entries: entries
+                .iter()
+                .map(|&(s, ts)| LogEntry {
+                    event: ev(node, s),
+                    local_ts: Some(ts),
+                })
+                .collect(),
+        }
+    }
+
+    fn node_order(merged: &MergedLog, node: u16) -> Vec<u32> {
+        merged
+            .node_events(NodeId(node))
+            .iter()
+            .map(|e| e.packet.seqno)
+            .collect()
+    }
+
+    #[test]
+    fn timestamp_merge_interleaves_and_preserves_node_order() {
+        let a = log_ts(1, &[(0, 10), (1, 30)]);
+        let b = log_ts(2, &[(0, 20), (1, 40)]);
+        let merged = merge_logs(&[a, b]);
+        let nodes: Vec<u16> = merged.events.iter().map(|e| e.node.0).collect();
+        assert_eq!(nodes, vec![1, 2, 1, 2]);
+        assert_eq!(node_order(&merged, 1), vec![0, 1]);
+        assert_eq!(node_order(&merged, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn skewed_timestamps_still_preserve_per_node_order() {
+        // Node 1's clock is wildly ahead; interleaving is wrong but each
+        // node's own order must hold.
+        let a = log_ts(1, &[(0, 1000), (1, 2000)]);
+        let b = log_ts(2, &[(0, 1), (1, 2)]);
+        let merged = merge_logs(&[a, b]);
+        assert_eq!(node_order(&merged, 1), vec![0, 1]);
+        assert_eq!(node_order(&merged, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn round_robin_when_timestamps_missing() {
+        let a = LocalLog::from_events(NodeId(1), vec![ev(1, 0), ev(1, 1)]);
+        let b = LocalLog::from_events(NodeId(2), vec![ev(2, 0)]);
+        let merged = merge_logs(&[a, b]);
+        assert_eq!(merged.len(), 3);
+        assert_eq!(node_order(&merged, 1), vec![0, 1]);
+    }
+
+    #[test]
+    fn by_packet_groups_preserve_order() {
+        let p = PacketId::new(NodeId(1), 0);
+        let a = LocalLog::from_events(
+            NodeId(1),
+            vec![
+                Event::new(NodeId(1), EventKind::Origin, p),
+                Event::new(NodeId(1), EventKind::Trans { to: NodeId(2) }, p),
+            ],
+        );
+        let b = LocalLog::from_events(
+            NodeId(2),
+            vec![Event::new(NodeId(2), EventKind::Recv { from: NodeId(1) }, p)],
+        );
+        let merged = merge_logs(&[a, b]);
+        let groups = merged.by_packet();
+        assert_eq!(groups.len(), 1);
+        let evs = &groups[&p];
+        assert_eq!(evs.len(), 3);
+        let n1: Vec<_> = evs.iter().filter(|e| e.node == NodeId(1)).collect();
+        assert!(matches!(n1[0].kind, EventKind::Origin));
+        assert!(matches!(n1[1].kind, EventKind::Trans { .. }));
+    }
+
+    #[test]
+    fn empty_input_merges_to_empty() {
+        let merged = merge_logs(&[]);
+        assert!(merged.is_empty());
+        assert!(merged.packet_ids().is_empty());
+    }
+
+    #[test]
+    fn packet_ids_sorted_and_deduped() {
+        let a = LocalLog::from_events(NodeId(1), vec![ev(1, 5), ev(1, 2)]);
+        let b = LocalLog::from_events(NodeId(2), vec![ev(2, 0)]);
+        let merged = merge_logs(&[a, b]);
+        let ids = merged.packet_ids();
+        assert_eq!(
+            ids,
+            vec![
+                PacketId::new(NodeId(1), 2),
+                PacketId::new(NodeId(1), 5),
+                PacketId::new(NodeId(2), 0)
+            ]
+        );
+    }
+}

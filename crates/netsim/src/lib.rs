@@ -1,0 +1,26 @@
+//! # netsim — discrete-event simulation substrate
+//!
+//! A deterministic discrete-event simulation kernel plus the physical-world
+//! models (node placement, radio link quality, temporal fault processes) that
+//! the REFILL reproduction uses to stand in for the CitySee deployment.
+//!
+//! The crate is deliberately independent of any particular protocol stack:
+//! it provides *time*, *randomness*, *geometry*, *links* and an *event
+//! queue*; the `protocols` crate builds the 802.15.4/LPL/CTP stack on top.
+//!
+//! Everything is reproducible: all randomness flows from a single master
+//! seed through labelled [`rng::RngFactory`] streams, and the scheduler
+//! breaks ties deterministically by insertion sequence.
+
+pub mod engine;
+pub mod link;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+pub mod topology;
+
+pub use engine::Scheduler;
+pub use link::{LinkModel, LinkModelConfig, LinkQualityTable};
+pub use rng::RngFactory;
+pub use time::{SimDuration, SimTime};
+pub use topology::{NodeId, Position, Topology};

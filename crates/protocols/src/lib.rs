@@ -1,0 +1,35 @@
+//! # protocols — the simulated CitySee network stack
+//!
+//! The substrate standing in for the paper's 1,200-node deployment: an
+//! event-driven simulation of the stack described in Section V-A —
+//!
+//! * **PHY** ([`packet`]): 802.15.4-style frames with length prefix and
+//!   CRC-16, hardware acknowledgements on CRC pass.
+//! * **MAC** ([`config`], [`sim`]): LPL-flavoured unicast with
+//!   retransmission until ACK or a retry budget (CitySee used up to 30).
+//! * **Routing** ([`ctp`]): CTP — ETX-minimizing parent selection over
+//!   beaconed path costs; *stale* advertisements under churn produce the
+//!   transient routing loops behind the paper's duplicate losses.
+//! * **Node OS model** ([`node`]): bounded forwarding queue (overflow
+//!   losses), link-layer duplicate cache and in-queue duplicate check,
+//!   stack hand-off drops (acked losses), internal task failures (received
+//!   losses).
+//! * **Sink & base station** ([`schedule`], [`sim`]): the RS232 serial hop
+//!   with its fault process (the unstable cable fixed on day 23) and the
+//!   base-station server outage schedule.
+//!
+//! The simulator emits exactly the event vocabulary of the `eventlog`
+//! crate — through lossy per-node loggers — plus complete ground truth
+//! (true event order, per-packet fates and paths) for scoring.
+
+pub mod config;
+pub mod ctp;
+pub mod energy;
+pub mod node;
+pub mod packet;
+pub mod schedule;
+pub mod sim;
+
+pub use config::SimConfig;
+pub use schedule::{FaultSchedule, Schedule};
+pub use sim::{SimOutput, Simulator};

@@ -1,0 +1,258 @@
+//! Per-node runtime state: forwarding queue, duplicate caches, MAC service.
+//!
+//! This models the OS-level behaviour Section V-D.3 blames for *node*
+//! losses (as opposed to link losses): a bounded forwarding queue whose
+//! overflow discards packets, a bounded link-layer duplicate cache keyed by
+//! `(origin, seqno, THL)` (retransmission duplicates), and CTP's in-queue
+//! duplicate check keyed by `(origin, seqno)` (routing-loop duplicates).
+
+use crate::packet::DataPacket;
+use eventlog::PacketId;
+use std::collections::VecDeque;
+
+/// Why the node refused an incoming packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptError {
+    /// Matched the duplicate cache or an in-queue copy.
+    Duplicate,
+    /// The forwarding queue is full.
+    QueueFull,
+}
+
+/// A bounded FIFO duplicate cache.
+#[derive(Debug, Clone)]
+pub struct DupCache {
+    entries: VecDeque<(PacketId, u8)>,
+    capacity: usize,
+}
+
+impl DupCache {
+    /// A cache holding up to `capacity` signatures.
+    pub fn new(capacity: usize) -> Self {
+        DupCache {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// True if `(id, thl)` is in the cache.
+    pub fn contains(&self, id: PacketId, thl: u8) -> bool {
+        self.entries.iter().any(|&(i, t)| i == id && t == thl)
+    }
+
+    /// Insert a signature, evicting the oldest if full.
+    pub fn insert(&mut self, id: PacketId, thl: u8) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((id, thl));
+    }
+}
+
+/// The MAC's current service slot.
+#[derive(Debug, Clone, Copy)]
+pub struct MacSlot {
+    /// Packet being sent.
+    pub packet: DataPacket,
+    /// Next-hop target chosen at service start.
+    pub target: netsim::NodeId,
+    /// Attempts made so far.
+    pub attempts: u32,
+    /// Set when an ACK arrived (slot completes).
+    pub acked: bool,
+}
+
+/// Runtime state of one sensor node.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    /// Forwarding queue.
+    queue: VecDeque<DataPacket>,
+    queue_capacity: usize,
+    /// Link-layer duplicate cache, keyed (id, THL).
+    dup_cache: DupCache,
+    /// Current MAC service slot, if transmitting.
+    pub mac: Option<MacSlot>,
+}
+
+impl NodeState {
+    /// Fresh state with the given capacities.
+    pub fn new(queue_capacity: usize, dup_cache_size: usize) -> Self {
+        NodeState {
+            queue: VecDeque::with_capacity(queue_capacity.min(64)),
+            queue_capacity,
+            dup_cache: DupCache::new(dup_cache_size),
+            mac: None,
+        }
+    }
+
+    /// Number of queued packets.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Duplicate test for an arriving packet: link-layer cache (same THL)
+    /// or an identical packet already queued / in service (loop case).
+    pub fn is_duplicate(&self, packet: &DataPacket) -> bool {
+        self.dup_cache.contains(packet.id, packet.thl)
+            || self.queue.iter().any(|q| q.id == packet.id)
+            || self
+                .mac
+                .as_ref()
+                .is_some_and(|m| m.packet.id == packet.id)
+    }
+
+    /// Try to accept an arriving packet into the forwarding queue. On
+    /// success the packet's signature enters the duplicate cache.
+    pub fn accept(&mut self, packet: DataPacket) -> Result<(), AcceptError> {
+        if self.is_duplicate(&packet) {
+            return Err(AcceptError::Duplicate);
+        }
+        if self.queue.len() >= self.queue_capacity {
+            return Err(AcceptError::QueueFull);
+        }
+        self.dup_cache.insert(packet.id, packet.thl);
+        self.queue.push_back(packet);
+        Ok(())
+    }
+
+    /// Record a signature without queueing (used by the sink, which has no
+    /// radio forwarding queue).
+    pub fn note_seen(&mut self, packet: &DataPacket) {
+        self.dup_cache.insert(packet.id, packet.thl);
+    }
+
+    /// Pop the next packet to serve, if the MAC is idle.
+    pub fn next_to_serve(&mut self) -> Option<DataPacket> {
+        if self.mac.is_some() {
+            return None;
+        }
+        self.queue.pop_front()
+    }
+
+    /// True if there is work (queued packets or an active slot).
+    pub fn busy(&self) -> bool {
+        self.mac.is_some() || !self.queue.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::NodeId;
+
+    fn pkt(origin: u16, seq: u32, thl: u8) -> DataPacket {
+        DataPacket {
+            id: PacketId::new(NodeId(origin), seq),
+            thl,
+        }
+    }
+
+    #[test]
+    fn accept_then_duplicate_same_thl() {
+        let mut n = NodeState::new(4, 8);
+        assert!(n.accept(pkt(1, 0, 2)).is_ok());
+        assert_eq!(n.accept(pkt(1, 0, 2)), Err(AcceptError::Duplicate));
+    }
+
+    #[test]
+    fn in_queue_duplicate_caught_even_with_different_thl() {
+        // Routing loop: same packet id, higher THL, original still queued.
+        let mut n = NodeState::new(4, 8);
+        assert!(n.accept(pkt(1, 0, 2)).is_ok());
+        assert_eq!(n.accept(pkt(1, 0, 5)), Err(AcceptError::Duplicate));
+    }
+
+    #[test]
+    fn in_service_duplicate_caught() {
+        let mut n = NodeState::new(4, 8);
+        n.accept(pkt(1, 0, 2)).unwrap();
+        let p = n.next_to_serve().unwrap();
+        n.mac = Some(MacSlot {
+            packet: p,
+            target: NodeId(9),
+            attempts: 1,
+            acked: false,
+        });
+        assert_eq!(n.accept(pkt(1, 0, 6)), Err(AcceptError::Duplicate));
+    }
+
+    #[test]
+    fn loop_packet_accepted_after_cache_eviction_and_forwarding() {
+        // Small cache: once the signature is evicted and the packet is no
+        // longer queued, a revisit is accepted (the Case 4 situation).
+        let mut n = NodeState::new(8, 2);
+        n.accept(pkt(1, 0, 0)).unwrap();
+        let _served = n.next_to_serve().unwrap();
+        n.mac = None; // completed, left the node
+        // Evict (1,0,0) from the 2-entry cache.
+        n.accept(pkt(2, 0, 0)).unwrap();
+        assert!(n.next_to_serve().is_some());
+        n.mac = None;
+        n.accept(pkt(3, 0, 0)).unwrap();
+        assert!(n.next_to_serve().is_some());
+        n.mac = None;
+        // Revisit with higher THL: no longer remembered anywhere.
+        assert!(n.accept(pkt(1, 0, 3)).is_ok());
+    }
+
+    #[test]
+    fn queue_overflow() {
+        let mut n = NodeState::new(2, 16);
+        assert!(n.accept(pkt(1, 0, 0)).is_ok());
+        assert!(n.accept(pkt(1, 1, 0)).is_ok());
+        assert_eq!(n.accept(pkt(1, 2, 0)), Err(AcceptError::QueueFull));
+        assert_eq!(n.queue_len(), 2);
+    }
+
+    #[test]
+    fn fifo_service_order() {
+        let mut n = NodeState::new(4, 16);
+        n.accept(pkt(1, 0, 0)).unwrap();
+        n.accept(pkt(1, 1, 0)).unwrap();
+        assert_eq!(n.next_to_serve().unwrap().id.seqno, 0);
+        // MAC busy blocks further service.
+        n.mac = Some(MacSlot {
+            packet: pkt(1, 0, 0),
+            target: NodeId(9),
+            attempts: 0,
+            acked: false,
+        });
+        assert!(n.next_to_serve().is_none());
+        n.mac = None;
+        assert_eq!(n.next_to_serve().unwrap().id.seqno, 1);
+    }
+
+    #[test]
+    fn busy_reflects_queue_and_mac() {
+        let mut n = NodeState::new(4, 16);
+        assert!(!n.busy());
+        n.accept(pkt(1, 0, 0)).unwrap();
+        assert!(n.busy());
+        let p = n.next_to_serve().unwrap();
+        assert!(!n.busy());
+        n.mac = Some(MacSlot {
+            packet: p,
+            target: NodeId(9),
+            attempts: 0,
+            acked: false,
+        });
+        assert!(n.busy());
+    }
+
+    #[test]
+    fn dup_cache_eviction_is_fifo() {
+        let mut c = DupCache::new(2);
+        let a = PacketId::new(NodeId(1), 0);
+        let b = PacketId::new(NodeId(1), 1);
+        let d = PacketId::new(NodeId(1), 2);
+        c.insert(a, 0);
+        c.insert(b, 0);
+        c.insert(d, 0);
+        assert!(!c.contains(a, 0), "oldest evicted");
+        assert!(c.contains(b, 0));
+        assert!(c.contains(d, 0));
+    }
+}

@@ -1,0 +1,2 @@
+//! Workspace umbrella crate: hosts cross-crate integration tests and examples.
+pub use refill;

@@ -1,0 +1,77 @@
+//! Determinism integration tests (DESIGN.md invariant 6): the same seed
+//! yields byte-identical campaigns, analyses, and figures; parallel drivers
+//! match sequential output exactly.
+
+use citysee::figures::{fig6_daily_causes, fig9_breakdown, render_fig6_csv};
+use citysee::{analyze, run_scenario, Scenario};
+use refill::parallel::{reconstruct_crossbeam, reconstruct_rayon};
+use refill::trace::{CtpVocabulary, Reconstructor};
+
+fn scenario() -> Scenario {
+    Scenario {
+        days: 3,
+        ..Scenario::small()
+    }
+}
+
+#[test]
+fn campaigns_reproduce_bit_for_bit() {
+    let a = run_scenario(&scenario());
+    let b = run_scenario(&scenario());
+    assert_eq!(a.sim.truth.events, b.sim.truth.events);
+    assert_eq!(a.merged.events, b.merged.events);
+    assert_eq!(a.sim.counters, b.sim.counters);
+    // Serialized figures are identical too.
+    let (aa, ab) = (analyze(&a), analyze(&b));
+    let fa = render_fig6_csv(&fig6_daily_causes(&a, &aa));
+    let fb = render_fig6_csv(&fig6_daily_causes(&b, &ab));
+    assert_eq!(fa, fb);
+    assert_eq!(
+        serde_json::to_string(&fig9_breakdown(&a, &aa)).unwrap(),
+        serde_json::to_string(&fig9_breakdown(&b, &ab)).unwrap()
+    );
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = run_scenario(&scenario());
+    let b = run_scenario(&Scenario {
+        seed: 999,
+        ..scenario()
+    });
+    assert_ne!(a.merged.events, b.merged.events);
+}
+
+#[test]
+fn parallel_drivers_match_sequential() {
+    let campaign = run_scenario(&scenario());
+    let recon =
+        Reconstructor::new(CtpVocabulary::citysee()).with_sink(campaign.topology.sink());
+    let seq = recon.reconstruct_log(&campaign.merged);
+    let rayon = reconstruct_rayon(&recon, &campaign.merged);
+    let crossbeam = reconstruct_crossbeam(&recon, &campaign.merged, 4);
+    assert_eq!(seq.len(), rayon.len());
+    assert_eq!(seq.len(), crossbeam.len());
+    for ((s, r), c) in seq.iter().zip(&rayon).zip(&crossbeam) {
+        assert_eq!(s.packet, r.packet);
+        assert_eq!(s.packet, c.packet);
+        assert_eq!(s.flow, r.flow, "rayon flow differs for {}", s.packet);
+        assert_eq!(s.flow, c.flow, "crossbeam flow differs for {}", s.packet);
+        assert_eq!(s.path, r.path);
+        assert_eq!(s.path, c.path);
+    }
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let campaign = run_scenario(&scenario());
+    let a = analyze(&campaign);
+    let b = analyze(&campaign);
+    assert_eq!(a.records.len(), b.records.len());
+    for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(x.packet, y.packet);
+        assert_eq!(x.diagnosis, y.diagnosis);
+    }
+    assert_eq!(a.flow_score, b.flow_score);
+    assert_eq!(a.cause_score, b.cause_score);
+}

@@ -1,0 +1,79 @@
+//! Regression guards for the §V-D implications: the qualitative claims the
+//! paper derives from REFILL's output must keep holding on the substrate.
+
+use citysee::Scenario;
+use eventlog::LossCause;
+use protocols::sim::{SimOutput, Simulator};
+
+fn run_small(tweak: impl FnOnce(&mut protocols::SimConfig)) -> SimOutput {
+    let scenario = Scenario {
+        days: 3,
+        ..Scenario::small()
+    };
+    let (topology, table, faults, mut config) = scenario.build();
+    tweak(&mut config);
+    Simulator::new(topology, table, faults, config).run()
+}
+
+#[test]
+fn retry_budget_suppresses_link_losses() {
+    // §V-D.3: "with up to 30 retransmissions … packet losses due to low
+    // link quality become very low".
+    let timeout_share = |out: &SimOutput| {
+        let by = out.truth.losses_by_cause();
+        let lost: usize = by.values().sum();
+        by.get(&LossCause::TimeoutLoss).copied().unwrap_or(0) as f64 / lost.max(1) as f64
+    };
+    let low = run_small(|c| c.max_retries = 1);
+    let high = run_small(|c| c.max_retries = 30);
+    assert!(
+        timeout_share(&low) > timeout_share(&high) + 0.2,
+        "timeout share should collapse with retries: {} vs {}",
+        timeout_share(&low),
+        timeout_share(&high)
+    );
+    assert!(
+        high.truth.delivery_ratio() > low.truth.delivery_ratio(),
+        "retries should buy delivery"
+    );
+}
+
+#[test]
+fn software_acks_trade_losses_for_transmissions() {
+    // §V-D.5: software ACKs remove acked losses, cost channel time.
+    let hw = run_small(|_| {});
+    let sw = run_small(|c| c.software_ack = true);
+    let acked = |o: &SimOutput| {
+        o.truth
+            .losses_by_cause()
+            .get(&LossCause::AckedLoss)
+            .copied()
+            .unwrap_or(0)
+    };
+    assert!(acked(&hw) > 0);
+    assert_eq!(acked(&sw), 0);
+    // Transmission counts are not a paired comparison at this tiny scale
+    // (the ACK-mode change shifts every random draw); the deterministic
+    // claims are the acked-loss elimination and non-worse delivery. The
+    // quantitative transmission cost is measured at scale by the
+    // `implications` binary.
+    assert!(
+        sw.counters.get("transmissions") as f64
+            >= hw.counters.get("transmissions") as f64 * 0.95
+    );
+    assert!(sw.truth.delivery_ratio() >= hw.truth.delivery_ratio());
+}
+
+#[test]
+fn energy_pays_for_retries() {
+    // The energy ledger must reflect the §V-D.3 trade-off: more retries,
+    // more network energy.
+    let low = run_small(|c| c.max_retries = 1);
+    let high = run_small(|c| c.max_retries = 30);
+    assert!(
+        high.energy.network_total_mj() > low.energy.network_total_mj(),
+        "retries cost energy: {} vs {}",
+        high.energy.network_total_mj(),
+        low.energy.network_total_mj()
+    );
+}

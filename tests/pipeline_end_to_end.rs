@@ -1,0 +1,200 @@
+//! End-to-end pipeline integration: simulate → lossy collection → merge →
+//! REFILL → diagnose → score, crossing every crate boundary.
+
+use citysee::{analyze, run_scenario, Scenario};
+use eventlog::collect::CollectionConfig;
+use eventlog::logger::LoggerConfig;
+use eventlog::{EventKind, LossCause};
+use refill::DiagnosedCause;
+
+fn small() -> Scenario {
+    Scenario::small()
+}
+
+#[test]
+fn end_to_end_quality_bar() {
+    let campaign = run_scenario(&small());
+    let analysis = analyze(&campaign);
+
+    // Delivery verdicts are near-perfect (the base station log is ground
+    // truth for delivery).
+    assert!(analysis.cause_score.delivery_accuracy() > 0.99);
+    // Loss positions are recovered accurately.
+    assert!(
+        analysis.cause_score.position_accuracy() > 0.85,
+        "position accuracy {}",
+        analysis.cause_score.position_accuracy()
+    );
+    // Causes are recovered well above the baselines.
+    assert!(
+        analysis.cause_score.cause_accuracy() > 0.7,
+        "cause accuracy {}",
+        analysis.cause_score.cause_accuracy()
+    );
+}
+
+#[test]
+fn lossless_logs_need_no_inference() {
+    // DESIGN.md invariant 4: with complete logs, nothing is inferred and
+    // nothing is omitted.
+    // Acked losses are disabled too: a hardware-acked packet that dies
+    // before the receiver's log statement legitimately triggers inference
+    // even when no *logged* event was lost.
+    let scenario = Scenario {
+        logger: LoggerConfig::lossless(),
+        collection: CollectionConfig::lossless(),
+        days: 2,
+        sink_prelog_before: 0.0,
+        sink_prelog_after: 0.0,
+        p_prelog_drop: 0.0,
+        ..small()
+    };
+    let campaign = run_scenario(&scenario);
+    let analysis = analyze(&campaign);
+    assert_eq!(
+        analysis.flow_score.inferred, 0,
+        "complete logs must not trigger inference"
+    );
+    assert_eq!(analysis.flow_score.lost, 0);
+    assert!(analysis.cause_score.delivery_accuracy() > 0.999);
+}
+
+#[test]
+fn heavier_loss_degrades_gracefully() {
+    // DESIGN.md invariant 7: accuracy falls with log loss but does not
+    // collapse.
+    let mut accuracies = Vec::new();
+    for chunk_loss in [0.0, 0.3, 0.6] {
+        let scenario = Scenario {
+            collection: CollectionConfig {
+                whole_log_loss_prob: 0.01,
+                chunk_entries: 8,
+                chunk_loss_prob: chunk_loss,
+            },
+            days: 3,
+            ..small()
+        };
+        let campaign = run_scenario(&scenario);
+        let analysis = analyze(&campaign);
+        accuracies.push(analysis.cause_score.position_accuracy());
+    }
+    assert!(
+        accuracies[0] >= accuracies[2],
+        "more loss should not improve accuracy: {accuracies:?}"
+    );
+    assert!(
+        accuracies[2] > 0.25,
+        "even at 60% chunk loss, accuracy should not collapse: {accuracies:?}"
+    );
+}
+
+#[test]
+fn sink_hotspot_is_discovered() {
+    // The paper's headline diagnosis: the sink dominates loss positions.
+    let campaign = run_scenario(&small());
+    let analysis = analyze(&campaign);
+    let sink = campaign.topology.sink();
+    let at_sink = analysis
+        .records
+        .iter()
+        .filter(|r| !r.diagnosis.delivered && r.diagnosis.loss_node == Some(sink))
+        .count();
+    let lost = analysis.lost_records().count();
+    assert!(
+        at_sink * 2 > lost,
+        "sink should hold the majority of losses: {at_sink}/{lost}"
+    );
+}
+
+#[test]
+fn acked_losses_found_at_sink() {
+    // The paper's §V-D.5 insight: hardware-acked packets still die in the
+    // receiver — and REFILL pins them on the sink.
+    let campaign = run_scenario(&small());
+    let analysis = analyze(&campaign);
+    let sink = campaign.topology.sink();
+    let acked_at_sink = analysis
+        .records
+        .iter()
+        .filter(|r| {
+            r.diagnosis.cause == Some(DiagnosedCause::Known(LossCause::AckedLoss))
+                && r.diagnosis.loss_node == Some(sink)
+        })
+        .count();
+    assert!(acked_at_sink > 0);
+}
+
+#[test]
+fn flows_are_internally_consistent() {
+    use refill::trace::{CtpVocabulary, Reconstructor};
+    let campaign = run_scenario(&Scenario {
+        days: 2,
+        ..small()
+    });
+    let recon =
+        Reconstructor::new(CtpVocabulary::citysee()).with_sink(campaign.topology.sink());
+    let reports = recon.reconstruct_log(&campaign.merged);
+    assert!(!reports.is_empty());
+    for report in &reports {
+        // Linearization is a topological order of the dependency DAG.
+        assert!(report.flow.is_consistent(), "packet {}", report.packet);
+        // Every observed entry's event appears in the merged input.
+        let inputs = campaign
+            .merged
+            .by_packet()
+            .remove(&report.packet)
+            .unwrap_or_default();
+        for entry in report.flow.entries.iter().filter(|e| e.observed) {
+            assert!(
+                inputs.contains(&entry.payload),
+                "observed entry {} not in input of {}",
+                entry.payload,
+                report.packet
+            );
+        }
+        // Delivery flag agrees with bs-recv evidence.
+        let has_bs = inputs.iter().any(|e| matches!(e.kind, EventKind::BsRecv));
+        assert_eq!(report.delivered, has_bs);
+    }
+}
+
+#[test]
+fn per_node_observed_order_is_preserved_in_flows() {
+    // DESIGN.md invariant 3: each node's observed events appear in the flow
+    // in log order.
+    use refill::trace::{CtpVocabulary, Reconstructor};
+    let campaign = run_scenario(&Scenario {
+        days: 2,
+        ..small()
+    });
+    let recon =
+        Reconstructor::new(CtpVocabulary::citysee()).with_sink(campaign.topology.sink());
+    let groups = campaign.merged.by_packet();
+    for (id, events) in groups.iter().take(500) {
+        let report = recon.reconstruct_packet(*id, events);
+        let mut per_node_input: std::collections::HashMap<_, Vec<_>> =
+            std::collections::HashMap::new();
+        for e in events {
+            per_node_input.entry(e.node).or_default().push(*e);
+        }
+        let mut per_node_flow: std::collections::HashMap<_, Vec<_>> =
+            std::collections::HashMap::new();
+        for entry in report.flow.entries.iter().filter(|e| e.observed) {
+            per_node_flow
+                .entry(entry.payload.node)
+                .or_default()
+                .push(entry.payload);
+        }
+        for (node, flow_events) in per_node_flow {
+            let input = &per_node_input[&node];
+            // flow_events must be a subsequence of input.
+            let mut it = input.iter();
+            for fe in &flow_events {
+                assert!(
+                    it.any(|x| x == fe),
+                    "packet {id}: node {node} flow order violates log order"
+                );
+            }
+        }
+    }
+}

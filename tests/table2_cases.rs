@@ -1,0 +1,152 @@
+//! Integration test: the paper's Table II, end to end through the public
+//! API (logs → merge → reconstruct → diagnose), one case per row.
+
+use eventlog::{merge_logs, Event, EventKind, LocalLog, LossCause, PacketId};
+use netsim::NodeId;
+use refill::diagnose::Diagnoser;
+use refill::trace::{CtpVocabulary, Reconstructor};
+use refill::DiagnosedCause;
+
+fn n(i: u16) -> NodeId {
+    NodeId(i)
+}
+
+fn p() -> PacketId {
+    PacketId::new(n(1), 0)
+}
+
+fn ev(node: u16, kind: EventKind) -> Event {
+    Event::new(n(node), kind, p())
+}
+
+fn run(logs: Vec<LocalLog>) -> (String, refill::diagnose::Diagnosis) {
+    let merged = merge_logs(&logs);
+    let recon = Reconstructor::new(CtpVocabulary::table2());
+    let report = recon.reconstruct_packet(p(), &merged.by_packet()[&p()]);
+    let diag = Diagnoser::new().diagnose(&report, None);
+    (report.flow.to_string(), diag)
+}
+
+#[test]
+fn complete_log_row() {
+    let (flow, diag) = run(vec![
+        LocalLog::from_events(
+            n(1),
+            vec![
+                ev(1, EventKind::Trans { to: n(2) }),
+                ev(1, EventKind::AckRecvd { to: n(2) }),
+            ],
+        ),
+        LocalLog::from_events(
+            n(2),
+            vec![
+                ev(2, EventKind::Recv { from: n(1) }),
+                ev(2, EventKind::Trans { to: n(3) }),
+                ev(2, EventKind::AckRecvd { to: n(3) }),
+            ],
+        ),
+        LocalLog::from_events(n(3), vec![ev(3, EventKind::Recv { from: n(2) })]),
+    ]);
+    assert_eq!(
+        flow,
+        "1-2 trans, 1-2 recv, 1-2 ack recvd, 2-3 trans, 2-3 recv, 2-3 ack recvd"
+    );
+    // The packet's last known position is node 3.
+    assert_eq!(diag.loss_node, Some(n(3)));
+}
+
+#[test]
+fn case1_lost_middle_node() {
+    let (flow, diag) = run(vec![
+        LocalLog::from_events(n(1), vec![ev(1, EventKind::Trans { to: n(2) })]),
+        LocalLog::from_events(n(3), vec![ev(3, EventKind::Recv { from: n(2) })]),
+    ]);
+    assert_eq!(flow, "1-2 trans, [1-2 recv], [2-3 trans], 2-3 recv");
+    // Crucially NOT "lost at node 1" (the naive conclusion): the flow
+    // proves the packet reached node 3.
+    assert_eq!(diag.loss_node, Some(n(3)));
+    assert_eq!(
+        diag.cause,
+        Some(DiagnosedCause::Known(LossCause::ReceivedLoss))
+    );
+}
+
+#[test]
+fn case2_acked_loss() {
+    let (flow, diag) = run(vec![LocalLog::from_events(
+        n(1),
+        vec![
+            ev(1, EventKind::Trans { to: n(2) }),
+            ev(1, EventKind::AckRecvd { to: n(2) }),
+        ],
+    )]);
+    assert_eq!(flow, "1-2 trans, [1-2 recv], 1-2 ack recvd");
+    // "The packet is lost after the packet is successfully transmitted to
+    // node 2."
+    assert_eq!(diag.loss_node, Some(n(2)));
+    assert_eq!(diag.cause, Some(DiagnosedCause::Known(LossCause::AckedLoss)));
+}
+
+#[test]
+fn case3_ack_precedes_trans() {
+    let (flow, diag) = run(vec![LocalLog::from_events(
+        n(1),
+        vec![
+            ev(1, EventKind::AckRecvd { to: n(2) }),
+            ev(1, EventKind::Trans { to: n(2) }),
+        ],
+    )]);
+    assert_eq!(flow, "[1-2 trans], [1-2 recv], 1-2 ack recvd, 1-2 trans");
+    // "The packet is lost when the packet is transmitting from node 1 to
+    // node 2" — an in-flight (link) loss at node 1.
+    assert_eq!(diag.loss_node, Some(n(1)));
+    assert_eq!(
+        diag.cause,
+        Some(DiagnosedCause::Known(LossCause::TimeoutLoss))
+    );
+}
+
+#[test]
+fn case4_routing_loop() {
+    let (flow, diag) = run(vec![
+        LocalLog::from_events(
+            n(1),
+            vec![
+                ev(1, EventKind::Trans { to: n(2) }),
+                ev(1, EventKind::AckRecvd { to: n(2) }),
+                ev(1, EventKind::Recv { from: n(3) }),
+                ev(1, EventKind::Trans { to: n(2) }),
+                ev(1, EventKind::AckRecvd { to: n(2) }),
+            ],
+        ),
+        LocalLog::from_events(
+            n(2),
+            vec![
+                ev(2, EventKind::Recv { from: n(1) }),
+                ev(2, EventKind::Trans { to: n(3) }),
+                ev(2, EventKind::AckRecvd { to: n(3) }),
+                ev(2, EventKind::Trans { to: n(3) }),
+            ],
+        ),
+        LocalLog::from_events(
+            n(3),
+            vec![
+                ev(3, EventKind::Recv { from: n(2) }),
+                ev(3, EventKind::Trans { to: n(1) }),
+                ev(3, EventKind::AckRecvd { to: n(1) }),
+            ],
+        ),
+    ]);
+    assert_eq!(
+        flow,
+        "1-2 trans, 1-2 recv, 1-2 ack recvd, 2-3 trans, 2-3 recv, 2-3 ack recvd, \
+         3-1 trans, 3-1 recv, 3-1 ack recvd, 1-2 trans, [1-2 recv], 1-2 ack recvd, 2-3 trans"
+    );
+    // "The packet is lost at node 2 since the second transmission from
+    // node 2 to node 3 fails" — the in-flight trans at node 2 ends it.
+    assert_eq!(diag.loss_node, Some(n(2)));
+    assert_eq!(
+        diag.cause,
+        Some(DiagnosedCause::Known(LossCause::TimeoutLoss))
+    );
+}
