@@ -1,4 +1,5 @@
 //! End-to-end reconstruction benchmarks on a simulated campaign: merge,
+//! grouping (hashmap copy vs zero-copy index), the per-packet hot path,
 //! sequential vs rayon vs crossbeam drivers, and diagnosis.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
@@ -15,6 +16,16 @@ fn bench_scenario() -> Scenario {
     }
 }
 
+/// One day at the standard evaluation scale — the "CitySee day" shape the
+/// grouping bench measures (many small per-packet groups in one big log).
+fn citysee_day() -> Scenario {
+    Scenario {
+        name: "citysee-day".into(),
+        days: 1,
+        ..Scenario::standard()
+    }
+}
+
 fn bench_merge(c: &mut Criterion) {
     let campaign = run_scenario(&bench_scenario());
     let total: usize = campaign.collected.iter().map(|l| l.len()).sum();
@@ -24,6 +35,49 @@ fn bench_merge(c: &mut Criterion) {
     group.throughput(Throughput::Elements(total as u64));
     group.bench_function("k_way_merge", |b| {
         b.iter(|| black_box(merge_logs(&campaign.collected)))
+    });
+    group.finish();
+}
+
+/// Grouping a merged log: the old copy-everything hashmap vs the sorted
+/// zero-copy index, on a CitySee-day log.
+fn bench_grouping(c: &mut Criterion) {
+    let campaign = run_scenario(&citysee_day());
+    let events = campaign.merged.len() as u64;
+    let mut group = c.benchmark_group("grouping");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(events));
+    group.bench_function("by_packet_hashmap", |b| {
+        b.iter(|| black_box(campaign.merged.by_packet()))
+    });
+    group.bench_function("packet_index", |b| {
+        b.iter(|| black_box(campaign.merged.packet_index()))
+    });
+    group.finish();
+}
+
+/// The per-packet hot path: reconstruct every packet from its borrowed
+/// group slice, one at a time. This is the loop the shared-template and
+/// allocation-free transition work targets.
+fn bench_per_packet(c: &mut Criterion) {
+    let campaign = run_scenario(&bench_scenario());
+    let recon = Reconstructor::new(CtpVocabulary::citysee()).with_sink(campaign.topology.sink());
+    let index = campaign.merged.packet_index();
+
+    let mut group = c.benchmark_group("per_packet");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(index.len() as u64));
+    group.sample_size(10);
+    group.bench_function("reconstruct_packet", |b| {
+        b.iter(|| {
+            let mut inferred = 0usize;
+            for (id, events) in index.iter() {
+                inferred += recon.reconstruct_packet(id, events).flow.inferred_count();
+            }
+            black_box(inferred)
+        })
     });
     group.finish();
 }
@@ -78,5 +132,12 @@ fn bench_diagnose(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_merge, bench_reconstruct_drivers, bench_diagnose);
+criterion_group!(
+    benches,
+    bench_merge,
+    bench_grouping,
+    bench_per_packet,
+    bench_reconstruct_drivers,
+    bench_diagnose
+);
 criterion_main!(benches);

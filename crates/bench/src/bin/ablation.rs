@@ -45,9 +45,7 @@ fn main() {
     for te in &campaign.sim.truth.events {
         truth_by_packet.entry(te.event.packet).or_default().push(*te);
     }
-    let groups = campaign.merged.by_packet();
-    let mut ids: Vec<PacketId> = groups.keys().copied().collect();
-    ids.sort_unstable();
+    let index = campaign.merged.packet_index();
 
     let mut csv = String::from(
         "variant,inferred,recall,precision,cause_acc,position_acc,omitted\n",
@@ -63,21 +61,22 @@ fn main() {
         let diagnoser = Diagnoser::new()
             .with_outages(faults.outages.clone())
             .with_sink(sink);
-        let (flow, cause, omitted) = ids
-            .par_iter()
-            .map(|id| {
-                let report = recon.reconstruct_packet(*id, &groups[id]);
+        let (flow, cause, omitted) = (0..index.len())
+            .into_par_iter()
+            .map(|i| {
+                let (id, events) = index.group(i);
+                let report = recon.reconstruct_packet(id, events);
                 let fs = score_flow(
                     &report,
-                    truth_by_packet.get(id).map(|v| v.as_slice()).unwrap_or(&[]),
+                    truth_by_packet.get(&id).map(|v| v.as_slice()).unwrap_or(&[]),
                 );
-                let est: Option<SimTime> = source_view.estimate_time(*id);
+                let est: Option<SimTime> = source_view.estimate_time(id);
                 let d = diagnoser.diagnose(&report, est);
                 let cs = campaign
                     .sim
                     .truth
                     .fates
-                    .get(id)
+                    .get(&id)
                     .map(|f| score_cause(&d, f))
                     .unwrap_or_default();
                 (fs, cs, report.omitted.len())

@@ -1,0 +1,95 @@
+//! Perf snapshot: measures reconstruction throughput on a fixed scenario
+//! and writes `BENCH_reconstruction.json` at the repo root, so successive
+//! changes to the hot path leave a comparable trajectory.
+//!
+//! Run with: `cargo run --release -p bench --bin bench`
+//!
+//! * `REFILL_BENCH_OUT` — override the output path
+//! * `REFILL_BENCH_REPS` — measured repetitions per driver (default 3)
+
+use citysee::{run_scenario, Scenario};
+use refill::parallel::{reconstruct_crossbeam, reconstruct_rayon};
+use refill::trace::{CtpVocabulary, Reconstructor};
+use serde_json::json;
+use std::time::Instant;
+
+/// Peak resident set size in kiB from `/proc/self/status` (Linux-only; the
+/// snapshot records `null` elsewhere — RSS is a nice-to-have, not a gate).
+fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+}
+
+/// Mean seconds per call over `reps` measured calls (after one warm-up).
+fn time_call<T>(mut f: impl FnMut() -> T, reps: u32) -> f64 {
+    std::hint::black_box(f());
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    t0.elapsed().as_secs_f64() / f64::from(reps)
+}
+
+fn main() {
+    let reps: u32 = std::env::var("REFILL_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let scenario = Scenario {
+        days: 3,
+        ..Scenario::small()
+    };
+    eprintln!(
+        "[bench] perf snapshot on '{}': {} nodes, {} days, {} reps",
+        scenario.name, scenario.nodes, scenario.days, reps
+    );
+    let campaign = run_scenario(&scenario);
+    let recon = Reconstructor::new(CtpVocabulary::citysee()).with_sink(campaign.topology.sink());
+    let index = campaign.merged.packet_index();
+    let packets = index.len();
+    let events = campaign.merged.len();
+    eprintln!("[bench] {packets} packets, {events} merged events");
+
+    let group_hashmap_s = time_call(|| campaign.merged.by_packet(), reps);
+    let group_index_s = time_call(|| campaign.merged.packet_index(), reps);
+    let sequential_s = time_call(|| recon.reconstruct_log(&campaign.merged), reps);
+    let rayon_s = time_call(|| reconstruct_rayon(&recon, &campaign.merged), reps);
+    let crossbeam4_s = time_call(|| reconstruct_crossbeam(&recon, &campaign.merged, 4), reps);
+
+    let pps = |secs: f64| packets as f64 / secs;
+    let snapshot = json!({
+        "bench": "reconstruction",
+        "generated": true,
+        "scenario": {
+            "name": scenario.name,
+            "nodes": scenario.nodes,
+            "days": scenario.days,
+            "seed": scenario.seed,
+        },
+        "packets": packets,
+        "merged_events": events,
+        "reps": reps,
+        "sequential_packets_per_sec": pps(sequential_s),
+        "rayon_packets_per_sec": pps(rayon_s),
+        "crossbeam4_packets_per_sec": pps(crossbeam4_s),
+        "group_by_packet_ms": group_hashmap_s * 1e3,
+        "group_packet_index_ms": group_index_s * 1e3,
+        "peak_rss_kib": peak_rss_kib(),
+    });
+
+    let out = std::env::var("REFILL_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_reconstruction.json").into()
+    });
+    let mut body = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
+    body.push('\n');
+    std::fs::write(&out, body).expect("write BENCH_reconstruction.json");
+    eprintln!(
+        "[bench] wrote {out}: {:.0} packets/sec sequential, {:.0} rayon, {:.0} crossbeam(4)",
+        pps(sequential_s),
+        pps(rayon_s),
+        pps(crossbeam4_s),
+    );
+}

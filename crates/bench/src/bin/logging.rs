@@ -122,18 +122,17 @@ fn main() {
         let filtered = filter_logs(&campaign.collected, v.keep);
         let entries: usize = filtered.iter().map(|l| l.len()).sum();
         let merged = merge_logs(&filtered);
-        let groups = merged.by_packet();
+        let index = merged.packet_index();
         let mut ids: Vec<PacketId> = campaign.sim.truth.fates.keys().copied().collect();
         ids.sort_unstable();
         let recon = Reconstructor::new(CtpVocabulary::citysee()).with_sink(sink);
         let diagnoser = Diagnoser::new()
             .with_outages(faults.outages.clone())
             .with_sink(sink);
-        let empty: Vec<eventlog::Event> = Vec::new();
         let (fs, cs) = ids
             .par_iter()
             .map(|id| {
-                let events = groups.get(id).unwrap_or(&empty);
+                let events = index.get(*id).unwrap_or(&[]);
                 let report = recon.reconstruct_packet(*id, events);
                 let d = diagnoser.diagnose(&report, source_view.estimate_time(*id));
                 let fs = score_flow(

@@ -135,23 +135,22 @@ pub fn analyze(campaign: &Campaign) -> Analysis {
     }
 
     // Per-packet reconstruction + diagnosis + scoring, in parallel.
-    let groups = campaign.merged.by_packet();
-    let mut ids: Vec<PacketId> = groups.keys().copied().collect();
+    let index = campaign.merged.packet_index();
+    let mut ids: Vec<PacketId> = index.ids().to_vec();
     // Packets never mentioned in any log still deserve records (fate says
     // they existed); they get an Unknown diagnosis through an empty flow.
     for id in campaign.sim.truth.fates.keys() {
-        if !groups.contains_key(id) {
+        if index.get(*id).is_none() {
             ids.push(*id);
         }
     }
     ids.sort_unstable();
 
-    let empty: Vec<eventlog::Event> = Vec::new();
     let empty_path: Vec<NodeId> = Vec::new();
     let per_packet: Vec<(PacketRecord, FlowScore, CauseScore, PathScore, bool)> = ids
         .par_iter()
         .map(|id| {
-            let events = groups.get(id).unwrap_or(&empty);
+            let events = index.get(*id).unwrap_or(&[]);
             let report = recon.reconstruct_packet(*id, events);
             let est_time = source_view.estimate_time(*id);
             let diagnosis = diagnoser.diagnose(&report, est_time);

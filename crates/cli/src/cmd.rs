@@ -269,9 +269,9 @@ pub fn trace(args: &[String]) -> Result<(), String> {
     let (recon, _) = build_reconstructor(&flags)?;
 
     let merged = merge_logs(&logs);
-    let groups = merged.by_packet();
-    let events = groups
-        .get(&packet)
+    let index = merged.packet_index();
+    let events = index
+        .get(packet)
         .ok_or_else(|| format!("no events for packet {packet} in the archive"))?;
     let report = recon.reconstruct_packet(packet, events);
 

@@ -16,6 +16,7 @@ use eventlog::event::BASE_STATION;
 use eventlog::{Event, EventKind, PacketId};
 use netsim::NodeId;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Placeholder peer for inferred events whose counterparty is unknown
 /// (e.g. a forced `recv` on an engine whose previous hop was never linked).
@@ -128,22 +129,27 @@ pub struct RoleStates {
 }
 
 /// The four role templates plus their landmark states.
+///
+/// Templates are interned behind [`Arc`] so every per-packet
+/// [`ConnectedNet`](crate::net::ConnectedNet) built from one model shares
+/// the same immutable template storage — registering a role in a net is a
+/// refcount bump, not a deep copy of its transition tables.
 #[derive(Debug, Clone)]
 pub struct CtpModel {
     /// FSM for the packet's origin visit.
-    pub source: FsmTemplate<HopLabel>,
+    pub source: Arc<FsmTemplate<HopLabel>>,
     /// Landmarks of [`CtpModel::source`].
     pub source_states: RoleStates,
     /// FSM for an intermediate forwarding visit.
-    pub forwarder: FsmTemplate<HopLabel>,
+    pub forwarder: Arc<FsmTemplate<HopLabel>>,
     /// Landmarks of [`CtpModel::forwarder`].
     pub forwarder_states: RoleStates,
     /// FSM for the sink's visit (radio in, serial out).
-    pub sink: FsmTemplate<HopLabel>,
+    pub sink: Arc<FsmTemplate<HopLabel>>,
     /// Landmarks of [`CtpModel::sink`].
     pub sink_states: RoleStates,
     /// FSM for the base station's record.
-    pub bs: FsmTemplate<HopLabel>,
+    pub bs: Arc<FsmTemplate<HopLabel>>,
     /// The vocabulary the model was built from.
     pub vocabulary: CtpVocabulary,
 }
@@ -157,13 +163,13 @@ impl CtpModel {
         let (sink, sink_states) = build_sink(vocabulary);
         let bs = build_bs();
         CtpModel {
-            source,
+            source: Arc::new(source),
             source_states,
-            forwarder,
+            forwarder: Arc::new(forwarder),
             forwarder_states,
-            sink,
+            sink: Arc::new(sink),
             sink_states,
-            bs,
+            bs: Arc::new(bs),
             vocabulary,
         }
     }
@@ -353,7 +359,7 @@ mod tests {
             .plan(m.forwarder.initial(), &HopLabel::AckRecvd)
             .unwrap();
         let labels: Vec<HopLabel> = plan
-            .steps
+            .steps()
             .iter()
             .map(|t| m.forwarder.transition(*t).label)
             .collect();
@@ -368,7 +374,7 @@ mod tests {
         let m = CtpModel::new(CtpVocabulary::table2());
         let s = &m.source;
         let plan = s.plan(s.initial(), &HopLabel::Trans).unwrap();
-        assert_eq!(plan.steps.len(), 1, "normal transition, nothing inferred");
+        assert_eq!(plan.steps().len(), 1, "normal transition, nothing inferred");
     }
 
     #[test]
@@ -378,7 +384,7 @@ mod tests {
         let plan = s.plan(s.initial(), &HopLabel::Trans).unwrap();
         assert_eq!(plan.inferred_len(), 1);
         assert_eq!(
-            s.transition(plan.steps[0]).label,
+            s.transition(plan.steps()[0]).label,
             HopLabel::Origin,
             "lost origin inferred before the trans"
         );
@@ -392,7 +398,7 @@ mod tests {
             .plan(m.forwarder.initial(), &HopLabel::AckRecvd)
             .unwrap();
         let labels: Vec<HopLabel> = plan
-            .steps
+            .steps()
             .iter()
             .map(|t| m.forwarder.transition(*t).label)
             .collect();
@@ -415,7 +421,7 @@ mod tests {
         // Serial trans at Init jumps over a lost recv.
         let plan = m.sink.plan(m.sink.initial(), &HopLabel::SerialTrans).unwrap();
         assert_eq!(plan.inferred_len(), 1);
-        assert_eq!(m.sink.transition(plan.steps[0]).label, HopLabel::Recv);
+        assert_eq!(m.sink.transition(plan.steps()[0]).label, HopLabel::Recv);
     }
 
     #[test]

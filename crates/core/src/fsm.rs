@@ -71,21 +71,106 @@ pub struct IntraPlan {
     pub final_trans: TransId,
 }
 
-/// How an event can be processed from a given state.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Steps stored inline in an [`ExecPlan`] before spilling to the heap. CTP
+/// plans are at most four steps (recv, enqueue, trans, ack), so the
+/// per-event planning done by the reconstruction hot path never allocates.
+const INLINE_PLAN_STEPS: usize = 4;
+
+/// How an event can be processed from a given state: all transitions to
+/// take, in order. Every step except the last corresponds to an inferred
+/// lost event; the last carries the observed event itself. (For a normal
+/// transition this is a single step.)
+///
+/// Plans are built on every queue-front probe of the transition algorithm,
+/// so short plans (the overwhelmingly common case) are stored inline
+/// without touching the allocator.
+#[derive(Debug, Clone)]
 pub struct ExecPlan {
-    /// All transitions to take, in order. Every step except the last
-    /// corresponds to an inferred lost event; the last carries the observed
-    /// event itself. (For a normal transition this is a single step.)
-    pub steps: Vec<TransId>,
+    /// Inline storage; the first `len` entries are valid when `spill` is
+    /// empty (padding beyond `len` is unspecified).
+    inline: [TransId; INLINE_PLAN_STEPS],
+    /// Number of valid `inline` entries (only meaningful with empty
+    /// `spill`).
+    len: u8,
+    /// Overflow storage for plans longer than `INLINE_PLAN_STEPS`.
+    spill: Vec<TransId>,
 }
 
 impl ExecPlan {
+    /// A one-step plan (a normal transition).
+    pub fn single(t: TransId) -> Self {
+        let mut inline = [TransId(0); INLINE_PLAN_STEPS];
+        inline[0] = t;
+        ExecPlan {
+            inline,
+            len: 1,
+            spill: Vec::new(),
+        }
+    }
+
+    /// A plan that replays `via` (lost events) and then takes `final_trans`.
+    pub fn from_parts(via: &[TransId], final_trans: TransId) -> Self {
+        let n = via.len() + 1;
+        if n <= INLINE_PLAN_STEPS {
+            let mut inline = [TransId(0); INLINE_PLAN_STEPS];
+            inline[..via.len()].copy_from_slice(via);
+            inline[via.len()] = final_trans;
+            ExecPlan {
+                inline,
+                len: n as u8,
+                spill: Vec::new(),
+            }
+        } else {
+            let mut spill = Vec::with_capacity(n);
+            spill.extend_from_slice(via);
+            spill.push(final_trans);
+            ExecPlan {
+                inline: [TransId(0); INLINE_PLAN_STEPS],
+                len: 0,
+                spill,
+            }
+        }
+    }
+
+    /// A plan from an explicit non-empty step sequence.
+    pub fn from_steps(steps: &[TransId]) -> Self {
+        let (via, last) = steps.split_at(steps.len() - 1);
+        Self::from_parts(via, last[0])
+    }
+
+    /// The steps, in execution order (never empty).
+    pub fn steps(&self) -> &[TransId] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// The final transition (the one carrying the observed event).
+    pub fn last(&self) -> TransId {
+        *self.steps().last().expect("plans are non-empty")
+    }
+
     /// Number of inferred lost events this plan implies.
     pub fn inferred_len(&self) -> usize {
-        self.steps.len() - 1
+        self.steps().len() - 1
+    }
+
+    /// The sub-plan of steps `0..=upto` (used when forcing should stop at
+    /// an intermediate prerequisite state instead of overshooting it).
+    pub fn prefix(&self, upto: usize) -> ExecPlan {
+        Self::from_steps(&self.steps()[..=upto])
     }
 }
+
+impl PartialEq for ExecPlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.steps() == other.steps()
+    }
+}
+
+impl Eq for ExecPlan {}
 
 /// An ambiguity found during augmentation: from `state`, label `label` has
 /// several reachable targets, so no intra-node transition was added.
@@ -195,13 +280,11 @@ impl<L: Label> FsmTemplate<L> {
     /// if the event cannot be processed from here.
     pub fn plan(&self, state: StateId, label: &L) -> Option<ExecPlan> {
         if let Some(&t) = self.normal.get(&(state, label.clone())) {
-            return Some(ExecPlan { steps: vec![t] });
+            return Some(ExecPlan::single(t));
         }
-        self.intra.get(&(state, label.clone())).map(|p| {
-            let mut steps = p.via.clone();
-            steps.push(p.final_trans);
-            ExecPlan { steps }
-        })
+        self.intra
+            .get(&(state, label.clone()))
+            .map(|p| ExecPlan::from_parts(&p.via, p.final_trans))
     }
 
     /// True if `label` can be processed from `state` (normal or intra).
@@ -212,12 +295,12 @@ impl<L: Label> FsmTemplate<L> {
 
     /// The state after executing `plan` (its last transition's target).
     pub fn plan_end(&self, plan: &ExecPlan) -> StateId {
-        self.transitions[plan.steps.last().expect("plans are non-empty").idx()].to
+        self.transitions[plan.last().idx()].to
     }
 
     /// The states visited by each step of `plan`, in order.
     pub fn plan_states(&self, plan: &ExecPlan) -> Vec<StateId> {
-        plan.steps
+        plan.steps()
             .iter()
             .map(|t| self.transitions[t.idx()].to)
             .collect()
@@ -586,7 +669,7 @@ mod tests {
         let s = sender();
         let init = s.initial();
         let plan = s.plan(init, &"ack").expect("intra transition derived");
-        assert_eq!(plan.steps.len(), 2, "one lost trans + the ack itself");
+        assert_eq!(plan.steps().len(), 2, "one lost trans + the ack itself");
         assert_eq!(plan.inferred_len(), 1);
         let states = s.plan_states(&plan);
         assert_eq!(s.state_name(states[0]), "Sending");
@@ -601,11 +684,11 @@ mod tests {
         // trans at Init: lost [recv].
         let p = f.plan(init, &"trans").unwrap();
         assert_eq!(p.inferred_len(), 1);
-        assert_eq!(f.transition(p.steps[0]).label, "recv");
+        assert_eq!(f.transition(p.steps()[0]).label, "recv");
         // ack at Init: lost [recv, trans].
         let p = f.plan(init, &"ack").unwrap();
         assert_eq!(p.inferred_len(), 2);
-        let labels: Vec<_> = p.steps.iter().map(|t| f.transition(*t).label).collect();
+        let labels: Vec<_> = p.steps().iter().map(|t| f.transition(*t).label).collect();
         assert_eq!(labels, vec!["recv", "trans", "ack"]);
         // overflow at Init: lost [recv].
         let p = f.plan(init, &"overflow").unwrap();
@@ -629,7 +712,7 @@ mod tests {
         let f = forwarder();
         let got = f.state_by_name("Got").unwrap();
         let p = f.plan(got, &"trans").unwrap();
-        assert_eq!(p.steps.len(), 1, "normal transition, no inference");
+        assert_eq!(p.steps().len(), 1, "normal transition, no inference");
     }
 
     #[test]

@@ -39,6 +39,7 @@ use crate::fsm::{ExecPlan, FsmTemplate, Label, StateId, TransId, Transition};
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// An engine instance in the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -113,11 +114,21 @@ struct Engine {
 /// `L` is the label type of the templates; `E` is the event payload carried
 /// into the flow (an [`eventlog::Event`] in the tracing use case, anything
 /// `Clone` in tests).
+///
+/// Templates are held behind [`Arc`] so a caller building one net per unit
+/// of work (the per-packet tracing hot path) shares one immutable template
+/// set across all nets instead of deep-copying transition tables and label
+/// indices every time.
 pub struct ConnectedNet<L, E> {
-    templates: Vec<FsmTemplate<L>>,
+    templates: Vec<Arc<FsmTemplate<L>>>,
     engines: Vec<Engine>,
     queues: Vec<VecDeque<(EngineId, E)>>,
-    rules: FxHashMap<(EngineId, L), Vec<InterRule>>,
+    /// All registered rules, in registration order.
+    rule_arena: Vec<InterRule>,
+    /// `(engine, label)` → indices into [`ConnectedNet::rule_arena`]. The
+    /// runner works with indices so satisfying a rule never clones the rule
+    /// list.
+    rules: FxHashMap<(EngineId, L), Vec<u32>>,
 }
 
 /// The result of a run.
@@ -145,13 +156,18 @@ impl<L: Label, E: Clone> ConnectedNet<L, E> {
             templates: Vec::new(),
             engines: Vec::new(),
             queues: Vec::new(),
+            rule_arena: Vec::new(),
             rules: FxHashMap::default(),
         }
     }
 
     /// Register a template; returns its index.
-    pub fn add_template(&mut self, t: FsmTemplate<L>) -> usize {
-        self.templates.push(t);
+    ///
+    /// Accepts either an owned `FsmTemplate<L>` or an `Arc<FsmTemplate<L>>`;
+    /// passing an already-interned `Arc` makes registration O(1) regardless
+    /// of template size.
+    pub fn add_template(&mut self, t: impl Into<Arc<FsmTemplate<L>>>) -> usize {
+        self.templates.push(t.into());
         self.templates.len() - 1
     }
 
@@ -200,7 +216,9 @@ impl<L: Label, E: Clone> ConnectedNet<L, E> {
 
     /// Attach an inter-node prerequisite to `(engine, label)`.
     pub fn add_rule(&mut self, engine: EngineId, label: L, rule: InterRule) {
-        self.rules.entry((engine, label)).or_default().push(rule);
+        let ri = self.rule_arena.len() as u32;
+        self.rule_arena.push(rule);
+        self.rules.entry((engine, label)).or_default().push(ri);
     }
 
     /// Queue an observed event payload for an engine, at the back of its
@@ -365,16 +383,17 @@ impl<'n, L: Label, E: Clone> Runner<'n, L, E> {
 
     /// Execute a plan: every step but the last is an inferred lost event;
     /// the last carries the observed payload (when given).
-    fn exec_plan(&mut self, e: EngineId, plan: &ExecPlan, observed: Option<E>) {
-        let last_idx = plan.steps.len() - 1;
-        for (i, &tid) in plan.steps.iter().enumerate() {
-            let is_observed_step = i == last_idx && observed.is_some();
-            let payload = if is_observed_step {
-                observed.clone().expect("checked above")
-            } else {
-                let trans = self.template_of(e).transition(tid).clone();
-                (self.synthesize)(e, &trans)
-            };
+    fn exec_plan(&mut self, e: EngineId, plan: &ExecPlan, mut observed: Option<E>) {
+        // A cheap refcount bump decouples the template borrow from `self`,
+        // so synthesizing never has to clone a `Transition`.
+        let tpl = Arc::clone(&self.net.templates[self.net.engines[e.idx()].template]);
+        let steps = plan.steps();
+        let last_idx = steps.len() - 1;
+        for (i, &tid) in steps.iter().enumerate() {
+            let payload = if i == last_idx { observed.take() } else { None };
+            let is_observed_step = payload.is_some();
+            let payload =
+                payload.unwrap_or_else(|| (self.synthesize)(e, tpl.transition(tid)));
             self.advance(e, tid, payload, is_observed_step);
         }
     }
@@ -382,8 +401,11 @@ impl<'n, L: Label, E: Clone> Runner<'n, L, E> {
     /// Take one normal transition on `e`: satisfy its inter-node rules, move
     /// the state, append the flow entry.
     fn advance(&mut self, e: EngineId, tid: TransId, payload: E, observed: bool) {
-        let trans = self.template_of(e).transition(tid).clone();
-        let mut deps = self.satisfy_rules(e, &trans.label);
+        let (label, to) = {
+            let t = self.template_of(e).transition(tid);
+            (t.label.clone(), t.to)
+        };
+        let mut deps = self.satisfy_rules(e, &label);
         if let Some(prev) = self.net.engines[e.idx()].last_entry {
             deps.push(prev);
         }
@@ -402,8 +424,8 @@ impl<'n, L: Label, E: Clone> Runner<'n, L, E> {
             self.group_last_entry[group.idx()] = Some(idx);
         }
         let eng = &mut self.net.engines[e.idx()];
-        eng.state = trans.to;
-        let sidx = trans.to.0 as usize;
+        eng.state = to;
+        let sidx = to.0 as usize;
         if !eng.visited[sidx] {
             eng.visited[sidx] = true;
             eng.visited_entry[sidx] = Some(idx);
@@ -413,17 +435,24 @@ impl<'n, L: Label, E: Clone> Runner<'n, L, E> {
 
     /// Satisfy all inter-node rules for `(e, label)`; returns the flow
     /// indices that established satisfaction (dependency edges).
+    ///
+    /// Rules are addressed by arena index so nothing is cloned here; the
+    /// map lookup is repeated per rule because forcing needs `&mut self`,
+    /// but rule lists are immutable once the run starts, so the indices are
+    /// stable.
     fn satisfy_rules(&mut self, e: EngineId, label: &L) -> Vec<usize> {
-        let rules = match self.net.rules.get(&(e, label.clone())) {
-            Some(r) => r.clone(),
+        let key = (e, label.clone());
+        let n = match self.net.rules.get(&key) {
+            Some(r) => r.len(),
             None => return Vec::new(),
         };
         let mut deps = Vec::new();
-        for rule in rules {
-            if self.satisfaction(&rule).is_none() {
-                self.force(&rule);
+        for i in 0..n {
+            let ri = self.net.rules[&key][i];
+            if self.satisfaction(ri).is_none() {
+                self.force(ri);
             }
-            if let Some(Some(idx)) = self.satisfaction(&rule) {
+            if let Some(Some(idx)) = self.satisfaction(ri) {
                 deps.push(idx);
             }
         }
@@ -433,7 +462,8 @@ impl<'n, L: Label, E: Clone> Runner<'n, L, E> {
     /// `None` if unsatisfied; `Some(entry)` if satisfied, where `entry` is
     /// the flow index that visited a satisfying state (or `None` when the
     /// satisfying state is the peer's initial state).
-    fn satisfaction(&self, rule: &InterRule) -> Option<Option<usize>> {
+    fn satisfaction(&self, ri: u32) -> Option<Option<usize>> {
+        let rule = &self.net.rule_arena[ri as usize];
         let eng = &self.net.engines[rule.peer.idx()];
         for s in &rule.satisfying {
             if eng.visited[s.0 as usize] {
@@ -448,23 +478,23 @@ impl<'n, L: Label, E: Clone> Runner<'n, L, E> {
     /// visits at the node, which precede the peer's in recording order),
     /// take only inferred prefixes when a logged event would overshoot, and
     /// fall back to pure inference when the log runs dry.
-    fn force(&mut self, rule: &InterRule) {
-        let peer = rule.peer;
+    fn force(&mut self, ri: u32) {
+        let peer = self.net.rule_arena[ri as usize].peer;
         if self.forcing.contains(&peer) {
             self.warnings.push(NetWarning::CyclicPrerequisite { engine: peer });
             return;
         }
         self.forcing.push(peer);
         loop {
-            if self.satisfaction(rule).is_some() {
+            if self.satisfaction(ri).is_some() {
                 break;
             }
-            if self.force_step(rule) {
+            if self.force_step(ri) {
                 continue;
             }
             self.warnings.push(NetWarning::Unsatisfiable {
                 engine: peer,
-                canonical: rule.canonical,
+                canonical: self.net.rule_arena[ri as usize].canonical,
             });
             break;
         }
@@ -473,35 +503,43 @@ impl<'n, L: Label, E: Clone> Runner<'n, L, E> {
     }
 
     /// One forcing step; returns false when stuck.
-    fn force_step(&mut self, rule: &InterRule) -> bool {
-        let peer = rule.peer;
+    fn force_step(&mut self, ri: u32) -> bool {
+        let peer = self.net.rule_arena[ri as usize].peer;
         let group = self.net.engines[peer.idx()].group;
 
         // Try the node's next logged event first.
         if let Some((front_engine, plan)) = self.front_plan(group) {
             if front_engine == peer {
-                let states = self.template_of(peer).plan_states(&plan);
-                // Overshoot check: does the *inferred prefix* already pass
-                // through a satisfying state? Then take only that prefix and
-                // leave the logged event queued.
-                let prefix_hit = states[..states.len() - 1]
-                    .iter()
-                    .position(|s| rule.satisfying.contains(s));
+                // Walk the plan's states in place (no `plan_states` Vec).
+                let (prefix_hit, helps) = {
+                    let rule = &self.net.rule_arena[ri as usize];
+                    let tpl = &self.net.templates[self.net.engines[peer.idx()].template];
+                    let steps = plan.steps();
+                    // Overshoot check: does the *inferred prefix* already
+                    // pass through a satisfying state? Then take only that
+                    // prefix and leave the logged event queued.
+                    let mut prefix_hit = None;
+                    let mut end = self.net.engines[peer.idx()].state;
+                    for (k, &tid) in steps.iter().enumerate() {
+                        end = tpl.transition(tid).to;
+                        if prefix_hit.is_none()
+                            && k + 1 < steps.len()
+                            && rule.satisfying.contains(&end)
+                        {
+                            prefix_hit = Some(k);
+                        }
+                    }
+                    // Consume the event when it lands on a satisfying state
+                    // or at least keeps one reachable.
+                    let helps = rule.satisfying.contains(&end)
+                        || rule.satisfying.iter().any(|s| tpl.reachable0(end, *s));
+                    (prefix_hit, helps)
+                };
                 if let Some(k) = prefix_hit {
-                    let prefix = ExecPlan {
-                        steps: plan.steps[..=k].to_vec(),
-                    };
+                    let prefix = plan.prefix(k);
                     self.exec_plan(peer, &prefix, None);
                     return true;
                 }
-                // Consume the event when it lands on a satisfying state or
-                // at least keeps one reachable.
-                let end = *states.last().expect("plans are non-empty");
-                let helps = rule.satisfying.contains(&end)
-                    || rule
-                        .satisfying
-                        .iter()
-                        .any(|s| self.template_of(peer).reachable0(end, *s));
                 if helps {
                     let (_, payload) = self.net.queues[group.idx()]
                         .pop_front()
@@ -521,9 +559,10 @@ impl<'n, L: Label, E: Clone> Runner<'n, L, E> {
 
         // Pure inference along the canonical normal path.
         let state = self.net.engines[peer.idx()].state;
-        if let Some(path) = self.template_of(peer).normal_path(state, rule.canonical) {
+        let canonical = self.net.rule_arena[ri as usize].canonical;
+        if let Some(path) = self.template_of(peer).normal_path(state, canonical) {
             if let Some(&first) = path.first() {
-                let step = ExecPlan { steps: vec![first] };
+                let step = ExecPlan::single(first);
                 self.exec_plan(peer, &step, None);
                 return true;
             }

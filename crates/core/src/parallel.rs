@@ -6,9 +6,13 @@
 //! it pays. Two drivers are provided:
 //!
 //! * [`reconstruct_rayon`] — the idiomatic `par_iter` pipeline (default),
-//! * [`reconstruct_crossbeam`] — scoped worker threads pulling packet
-//!   indices off an atomic counter, kept as the comparison point the bench
-//!   suite measures against Rayon's work-stealing.
+//! * [`reconstruct_crossbeam`] — scoped worker threads, each filling a
+//!   disjoint contiguous chunk of the output, kept as the comparison point
+//!   the bench suite measures against Rayon's work-stealing.
+//!
+//! Both drivers borrow packet groups as `&[Event]` slices from one shared
+//! [`eventlog::PacketIndex`] — grouping sorts the merged log exactly once
+//! and nothing is copied per packet.
 //!
 //! Both produce output identical to the sequential
 //! [`Reconstructor::reconstruct_log`] (packets sorted by id), which the
@@ -16,63 +20,52 @@
 
 use crate::diagnose::{Diagnoser, Diagnosis};
 use crate::trace::{PacketReport, Reconstructor};
-use eventlog::{Event, MergedLog, PacketId, SimTime};
+use eventlog::{MergedLog, PacketId, SimTime};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Sorted packet groups from a merged log.
-fn sorted_groups(merged: &MergedLog) -> Vec<(PacketId, Vec<Event>)> {
-    let groups = merged.by_packet();
-    let mut v: Vec<(PacketId, Vec<Event>)> = groups.into_iter().collect();
-    v.sort_unstable_by_key(|(id, _)| *id);
-    v
-}
 
 /// Reconstruct all packets with Rayon's parallel iterator.
 pub fn reconstruct_rayon(recon: &Reconstructor, merged: &MergedLog) -> Vec<PacketReport> {
-    sorted_groups(merged)
-        .par_iter()
-        .map(|(id, events)| recon.reconstruct_packet(*id, events))
+    let index = merged.packet_index();
+    (0..index.len())
+        .into_par_iter()
+        .map(|i| {
+            let (id, events) = index.group(i);
+            recon.reconstruct_packet(id, events)
+        })
         .collect()
 }
 
-/// Reconstruct all packets with `workers` crossbeam-scoped threads pulling
-/// work off a shared atomic cursor.
+/// Reconstruct all packets with `workers` crossbeam-scoped threads.
+///
+/// The output vector is split into disjoint contiguous chunks up front and
+/// each worker writes its chunk directly — no channel, no mutex, no
+/// post-pass reordering. Output order (sorted by packet id) falls out of the
+/// index's ordering.
 pub fn reconstruct_crossbeam(
     recon: &Reconstructor,
     merged: &MergedLog,
     workers: usize,
 ) -> Vec<PacketReport> {
-    let groups = sorted_groups(merged);
-    let n = groups.len();
+    let index = merged.packet_index();
+    let n = index.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let chunk = n.div_ceil(workers);
     let mut slots: Vec<Option<PacketReport>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
-    let cursor = AtomicUsize::new(0);
-    let workers = workers.max(1).min(n.max(1));
 
     crossbeam::thread::scope(|scope| {
-        // Hand each worker a disjoint view of the slots via chunks of a
-        // mutable split; simplest safe pattern: collect results per worker
-        // and write back after the scope. To avoid a post-pass we instead
-        // use a channel.
-        let (tx, rx) = crossbeam::channel::unbounded::<(usize, PacketReport)>();
-        for _ in 0..workers {
-            let tx = tx.clone();
-            let groups = &groups;
-            let cursor = &cursor;
-            scope.spawn(move |_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= groups.len() {
-                    break;
+        for (w, out) in slots.chunks_mut(chunk).enumerate() {
+            let index = &index;
+            scope.spawn(move |_| {
+                let start = w * chunk;
+                for (j, slot) in out.iter_mut().enumerate() {
+                    let (id, events) = index.group(start + j);
+                    *slot = Some(recon.reconstruct_packet(id, events));
                 }
-                let (id, events) = &groups[i];
-                let report = recon.reconstruct_packet(*id, events);
-                tx.send((i, report)).expect("receiver outlives scope");
             });
-        }
-        drop(tx);
-        for (i, report) in rx {
-            slots[i] = Some(report);
         }
     })
     .expect("worker threads do not panic");
@@ -90,11 +83,13 @@ pub fn reconstruct_and_diagnose(
     merged: &MergedLog,
     est_time: impl Fn(PacketId) -> Option<SimTime> + Sync,
 ) -> Vec<(PacketReport, Diagnosis)> {
-    sorted_groups(merged)
-        .par_iter()
-        .map(|(id, events)| {
-            let report = recon.reconstruct_packet(*id, events);
-            let diag = diagnoser.diagnose(&report, est_time(*id));
+    let index = merged.packet_index();
+    (0..index.len())
+        .into_par_iter()
+        .map(|i| {
+            let (id, events) = index.group(i);
+            let report = recon.reconstruct_packet(id, events);
+            let diag = diagnoser.diagnose(&report, est_time(id));
             (report, diag)
         })
         .collect()
@@ -104,7 +99,7 @@ pub fn reconstruct_and_diagnose(
 mod tests {
     use super::*;
     use crate::trace::CtpVocabulary;
-    use eventlog::{merge_logs, EventKind, LocalLog};
+    use eventlog::{merge_logs, Event, EventKind, LocalLog};
     use netsim::NodeId;
 
     fn n(i: u16) -> NodeId {

@@ -33,6 +33,7 @@ use eventlog::{Event, EventKind, MergedLog, PacketId};
 use netsim::NodeId;
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 pub use crate::ctp_model::CtpVocabulary;
 
@@ -159,10 +160,10 @@ impl Reconstructor {
     /// Apply ablation options (see [`ReconOptions`]).
     pub fn with_options(mut self, options: ReconOptions) -> Self {
         if !options.intra_jumps {
-            self.model.source = self.model.source.strip_intra();
-            self.model.forwarder = self.model.forwarder.strip_intra();
-            self.model.sink = self.model.sink.strip_intra();
-            self.model.bs = self.model.bs.strip_intra();
+            self.model.source = Arc::new(self.model.source.strip_intra());
+            self.model.forwarder = Arc::new(self.model.forwarder.strip_intra());
+            self.model.sink = Arc::new(self.model.sink.strip_intra());
+            self.model.bs = Arc::new(self.model.bs.strip_intra());
         }
         self.options = options;
         self
@@ -182,11 +183,10 @@ impl Reconstructor {
     /// Reconstruct every packet mentioned in a merged log, sorted by packet
     /// id (deterministic).
     pub fn reconstruct_log(&self, merged: &MergedLog) -> Vec<PacketReport> {
-        let groups = merged.by_packet();
-        let mut ids: Vec<PacketId> = groups.keys().copied().collect();
-        ids.sort_unstable();
-        ids.iter()
-            .map(|id| self.reconstruct_packet(*id, &groups[id]))
+        let index = merged.packet_index();
+        index
+            .iter()
+            .map(|(id, events)| self.reconstruct_packet(id, events))
             .collect()
     }
 
@@ -208,10 +208,10 @@ impl Reconstructor {
 
     fn template_for(&self, role: Role) -> &FsmTemplate<HopLabel> {
         match role {
-            Role::Source => &self.model.source,
-            Role::Forwarder => &self.model.forwarder,
-            Role::Sink => &self.model.sink,
-            Role::BaseStation => &self.model.bs,
+            Role::Source => &*self.model.source,
+            Role::Forwarder => &*self.model.forwarder,
+            Role::Sink => &*self.model.sink,
+            Role::BaseStation => &*self.model.bs,
         }
     }
 
@@ -421,10 +421,12 @@ impl Reconstructor {
         _sink: Option<NodeId>,
     ) -> PacketReport {
         let mut net: ConnectedNet<HopLabel, Event> = ConnectedNet::new();
-        let t_src = net.add_template(self.model.source.clone());
-        let t_fwd = net.add_template(self.model.forwarder.clone());
-        let t_sink = net.add_template(self.model.sink.clone());
-        let t_bs = net.add_template(self.model.bs.clone());
+        // Registering a shared `Arc` is a refcount bump — per-packet setup
+        // no longer deep-copies the four role templates.
+        let t_src = net.add_template(Arc::clone(&self.model.source));
+        let t_fwd = net.add_template(Arc::clone(&self.model.forwarder));
+        let t_sink = net.add_template(Arc::clone(&self.model.sink));
+        let t_bs = net.add_template(Arc::clone(&self.model.bs));
         let template_idx = |role: Role| match role {
             Role::Source => t_src,
             Role::Forwarder => t_fwd,

@@ -24,6 +24,11 @@ pub struct MergedLog {
 impl MergedLog {
     /// Group the merged events by packet, preserving merged order within
     /// each group (and therefore per-node recording order).
+    ///
+    /// This copies every event into per-packet `Vec`s; the reconstruction
+    /// pipeline uses [`MergedLog::packet_index`] instead, which sorts once
+    /// into an arena and hands out zero-copy slices. Kept as the simple
+    /// reference grouping (the property tests check the index against it).
     pub fn by_packet(&self) -> FxHashMap<PacketId, Vec<Event>> {
         let mut out: FxHashMap<PacketId, Vec<Event>> = FxHashMap::default();
         for &e in &self.events {
@@ -32,10 +37,19 @@ impl MergedLog {
         out
     }
 
-    /// All packet ids mentioned anywhere in the merged log, sorted.
+    /// Build a [`PacketIndex`]: one stable sort into an arena, then
+    /// per-packet `&[Event]` slices in sorted-id order with no further
+    /// copying. This is the grouping the reconstruction drivers use.
+    pub fn packet_index(&self) -> PacketIndex {
+        PacketIndex::build(&self.events)
+    }
+
+    /// All packet ids mentioned anywhere in the merged log, sorted and
+    /// deduplicated (without materializing per-packet event groups).
     pub fn packet_ids(&self) -> Vec<PacketId> {
-        let mut ids: Vec<PacketId> = self.by_packet().into_keys().collect();
+        let mut ids: Vec<PacketId> = self.events.iter().map(|e| e.packet).collect();
         ids.sort_unstable();
+        ids.dedup();
         ids
     }
 
@@ -52,6 +66,87 @@ impl MergedLog {
     /// True if no events were collected at all.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+}
+
+/// A packet-grouped view of a merged log, built with a single stable sort.
+///
+/// The arena holds every event sorted by packet id; because the sort is
+/// stable, each packet's slice preserves the merged order (and therefore
+/// every node's recording order — the one hard input guarantee). Groups are
+/// exposed as `&[Event]` slices in sorted-id order, so iterating packets for
+/// reconstruction costs zero copies after the one-time build.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PacketIndex {
+    /// All events, stably sorted by packet id.
+    events: Vec<Event>,
+    /// Distinct packet ids, sorted ascending.
+    ids: Vec<PacketId>,
+    /// `offsets[i]..offsets[i + 1]` is packet `ids[i]`'s slice of `events`;
+    /// length is `ids.len() + 1`.
+    offsets: Vec<usize>,
+}
+
+impl PacketIndex {
+    /// Build from an event stream (one copy, one stable sort).
+    pub fn build(events: &[Event]) -> Self {
+        let mut arena = events.to_vec();
+        arena.sort_by_key(|e| e.packet);
+        let mut ids: Vec<PacketId> = Vec::new();
+        let mut offsets: Vec<usize> = Vec::new();
+        for (i, e) in arena.iter().enumerate() {
+            if ids.last() != Some(&e.packet) {
+                ids.push(e.packet);
+                offsets.push(i);
+            }
+        }
+        offsets.push(arena.len());
+        PacketIndex {
+            events: arena,
+            ids,
+            offsets,
+        }
+    }
+
+    /// Number of distinct packets.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if the log mentioned no packets at all.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Total number of indexed events.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The distinct packet ids, sorted ascending.
+    pub fn ids(&self) -> &[PacketId] {
+        &self.ids
+    }
+
+    /// The `i`-th group (in sorted-id order) as `(id, events)`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn group(&self, i: usize) -> (PacketId, &[Event]) {
+        (self.ids[i], &self.events[self.offsets[i]..self.offsets[i + 1]])
+    }
+
+    /// The events of one packet, if it appears in the log.
+    pub fn get(&self, id: PacketId) -> Option<&[Event]> {
+        self.ids
+            .binary_search(&id)
+            .ok()
+            .map(|i| &self.events[self.offsets[i]..self.offsets[i + 1]])
+    }
+
+    /// Iterate `(id, events)` groups in sorted-id order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (PacketId, &[Event])> + '_ {
+        (0..self.ids.len()).map(move |i| self.group(i))
     }
 }
 
@@ -231,5 +326,53 @@ mod tests {
                 PacketId::new(NodeId(2), 0)
             ]
         );
+    }
+
+    #[test]
+    fn packet_index_matches_by_packet_grouping() {
+        // Interleaved packets across two nodes; the index's slices must
+        // equal the hashmap grouping exactly, in sorted-id order.
+        let a = LocalLog::from_events(NodeId(1), vec![ev(1, 2), ev(1, 0), ev(1, 2)]);
+        let b = LocalLog::from_events(NodeId(2), vec![ev(2, 1), ev(2, 1)]);
+        let merged = merge_logs(&[a, b]);
+        let by = merged.by_packet();
+        let idx = merged.packet_index();
+        assert_eq!(idx.len(), by.len());
+        assert_eq!(idx.event_count(), merged.len());
+        assert_eq!(idx.ids(), merged.packet_ids().as_slice());
+        for (id, events) in idx.iter() {
+            assert_eq!(events, by[&id].as_slice(), "group {id}");
+            assert_eq!(idx.get(id), Some(events));
+        }
+        assert_eq!(idx.get(PacketId::new(NodeId(9), 9)), None);
+    }
+
+    #[test]
+    fn packet_index_preserves_per_node_order_within_group() {
+        // Two events of one packet on the same node, recorded in a known
+        // order, with another packet's event between them in merged order:
+        // the stable sort must keep the per-node order.
+        let p = PacketId::new(NodeId(1), 0);
+        let q = PacketId::new(NodeId(1), 1);
+        let merged = MergedLog {
+            events: vec![
+                Event::new(NodeId(1), EventKind::Origin, p),
+                Event::new(NodeId(1), EventKind::Origin, q),
+                Event::new(NodeId(1), EventKind::Trans { to: NodeId(2) }, p),
+            ],
+        };
+        let idx = merged.packet_index();
+        let evs = idx.get(p).unwrap();
+        assert_eq!(evs.len(), 2);
+        assert!(matches!(evs[0].kind, EventKind::Origin));
+        assert!(matches!(evs[1].kind, EventKind::Trans { .. }));
+    }
+
+    #[test]
+    fn empty_packet_index() {
+        let idx = merge_logs(&[]).packet_index();
+        assert!(idx.is_empty());
+        assert_eq!(idx.len(), 0);
+        assert_eq!(idx.iter().count(), 0);
     }
 }

@@ -27,12 +27,11 @@ fn main() {
     let diagnoser = Diagnoser::new()
         .with_outages(scenario.faults().outages)
         .with_sink(campaign.topology.sink());
-    let groups = campaign.merged.by_packet();
+    let index = campaign.merged.packet_index();
 
     // Pick: a delivered packet, a sink loss, and a mid-network loss.
     let mut picks = Vec::new();
-    let mut ids: Vec<_> = groups.keys().copied().collect();
-    ids.sort_unstable();
+    let ids = index.ids().to_vec();
     let mut got_delivered = false;
     let mut got_sink_loss = false;
     let mut got_mid_loss = false;
@@ -67,7 +66,7 @@ fn main() {
     }
 
     for (id, why) in picks {
-        let report = recon.reconstruct_packet(id, &groups[&id]);
+        let report = recon.reconstruct_packet(id, index.get(id).expect("picked from index"));
         let diag = diagnoser.diagnose(&report, None);
         println!("── packet {id} ({why})");
         println!(

@@ -44,6 +44,25 @@ fn arb_logs() -> impl Strategy<Value = Vec<LocalLog>> {
 }
 
 proptest! {
+    /// The zero-copy [`eventlog::PacketIndex`] grouping is exactly the old
+    /// `by_packet()` grouping: same id set (sorted), same per-packet event
+    /// sequences (per-node recording order preserved), every merged event
+    /// indexed exactly once.
+    #[test]
+    fn packet_index_equals_by_packet(logs in arb_logs()) {
+        let merged = merge_logs(&logs);
+        let index = merged.packet_index();
+        let groups = merged.by_packet();
+        let mut ids: Vec<PacketId> = groups.keys().copied().collect();
+        ids.sort_unstable();
+        prop_assert_eq!(index.ids(), ids.as_slice());
+        prop_assert_eq!(merged.packet_ids(), ids);
+        for (id, events) in index.iter() {
+            prop_assert_eq!(events, groups[&id].as_slice(), "group {} differs", id);
+        }
+        prop_assert_eq!(index.event_count(), merged.len());
+    }
+
     /// Invariant 1: merging preserves each node's recording order exactly.
     #[test]
     fn merge_preserves_per_node_order(logs in arb_logs()) {
@@ -107,13 +126,13 @@ proptest! {
             // Walk the plan: each step must be a valid normal transition
             // chained from the previous state.
             let mut cur = *state;
-            for (i, step) in plan.steps.iter().enumerate() {
+            for (i, step) in plan.steps().iter().enumerate() {
                 let trans = t.transition(*step);
                 prop_assert_eq!(trans.from, cur, "broken chain at step {}", i);
                 cur = trans.to;
             }
             // The final step carries the queried label.
-            let last = t.transition(*plan.steps.last().unwrap());
+            let last = t.transition(plan.last());
             prop_assert_eq!(&last.label, label);
             // Uniqueness: no other label-edge target is reachable from state.
             let targets: std::collections::HashSet<StateId> = t
