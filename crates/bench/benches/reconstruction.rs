@@ -6,7 +6,8 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use citysee::{run_scenario, Scenario};
 use eventlog::merge_logs;
 use refill::diagnose::Diagnoser;
-use refill::parallel::{reconstruct_crossbeam, reconstruct_rayon};
+use refill::parallel::{reconstruct_crossbeam, reconstruct_rayon, reconstruct_rayon_cached};
+use refill::sigcache::SigCache;
 use refill::trace::{CtpVocabulary, Reconstructor};
 
 fn bench_scenario() -> Scenario {
@@ -110,6 +111,40 @@ fn bench_reconstruct_drivers(c: &mut Criterion) {
     group.finish();
 }
 
+/// Signature-memoized reconstruction vs the direct pipeline. CitySee-like
+/// traffic is ≥90% duplicate flow shapes, so `warm` (cache pre-filled)
+/// shows the steady-state speedup and `cold` the first-pass overhead of
+/// canonicalization + template publication.
+fn bench_cached(c: &mut Criterion) {
+    let campaign = run_scenario(&bench_scenario());
+    let recon = Reconstructor::new(CtpVocabulary::citysee()).with_sink(campaign.topology.sink());
+    let packets = campaign.merged.packet_ids().len() as u64;
+
+    let mut group = c.benchmark_group("cached");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(packets));
+    group.sample_size(10);
+    group.bench_function("sequential_direct", |b| {
+        b.iter(|| black_box(recon.reconstruct_log(&campaign.merged)))
+    });
+    group.bench_function("sequential_cold", |b| {
+        b.iter(|| {
+            let cache = SigCache::default();
+            black_box(recon.reconstruct_log_cached(&campaign.merged, &cache))
+        })
+    });
+    let warm = SigCache::default();
+    recon.reconstruct_log_cached(&campaign.merged, &warm);
+    group.bench_function("sequential_warm", |b| {
+        b.iter(|| black_box(recon.reconstruct_log_cached(&campaign.merged, &warm)))
+    });
+    group.bench_function("rayon_warm", |b| {
+        b.iter(|| black_box(reconstruct_rayon_cached(&recon, &campaign.merged, &warm)))
+    });
+    group.finish();
+}
+
 fn bench_diagnose(c: &mut Criterion) {
     let campaign = run_scenario(&bench_scenario());
     let recon = Reconstructor::new(CtpVocabulary::citysee()).with_sink(campaign.topology.sink());
@@ -138,6 +173,7 @@ criterion_group!(
     bench_grouping,
     bench_per_packet,
     bench_reconstruct_drivers,
+    bench_cached,
     bench_diagnose
 );
 criterion_main!(benches);

@@ -8,7 +8,8 @@
 //! * `REFILL_BENCH_REPS` — measured repetitions per driver (default 3)
 
 use citysee::{run_scenario, Scenario};
-use refill::parallel::{reconstruct_crossbeam, reconstruct_rayon};
+use refill::parallel::{reconstruct_crossbeam, reconstruct_rayon, reconstruct_rayon_cached};
+use refill::sigcache::SigCache;
 use refill::trace::{CtpVocabulary, Reconstructor};
 use serde_json::json;
 use std::time::Instant;
@@ -59,6 +60,25 @@ fn main() {
     let rayon_s = time_call(|| reconstruct_rayon(&recon, &campaign.merged), reps);
     let crossbeam4_s = time_call(|| reconstruct_crossbeam(&recon, &campaign.merged, 4), reps);
 
+    // Cached variants. Cold builds (and fills) a fresh cache every call —
+    // the first-sight cost including canonicalization and template
+    // publication; warm shares one cache across calls — the steady-state
+    // cost, which is what a long-running collection service sees.
+    let cached_cold_s = time_call(
+        || {
+            let cache = SigCache::default();
+            recon.reconstruct_log_cached(&campaign.merged, &cache)
+        },
+        reps,
+    );
+    let shared = SigCache::default();
+    let cached_warm_s = time_call(|| recon.reconstruct_log_cached(&campaign.merged, &shared), reps);
+    let cached_rayon_s = time_call(
+        || reconstruct_rayon_cached(&recon, &campaign.merged, &shared),
+        reps,
+    );
+    let cache_stats = shared.stats();
+
     let pps = |secs: f64| packets as f64 / secs;
     let snapshot = json!({
         "bench": "reconstruction",
@@ -75,6 +95,12 @@ fn main() {
         "sequential_packets_per_sec": pps(sequential_s),
         "rayon_packets_per_sec": pps(rayon_s),
         "crossbeam4_packets_per_sec": pps(crossbeam4_s),
+        "cached_cold_packets_per_sec": pps(cached_cold_s),
+        "cached_warm_packets_per_sec": pps(cached_warm_s),
+        "cached_rayon_packets_per_sec": pps(cached_rayon_s),
+        "cache_hit_rate": cache_stats.hit_rate(),
+        "unique_signatures": cache_stats.unique_signatures(),
+        "cache_evictions": cache_stats.evictions,
         "group_by_packet_ms": group_hashmap_s * 1e3,
         "group_packet_index_ms": group_index_s * 1e3,
         "peak_rss_kib": peak_rss_kib(),
@@ -91,5 +117,13 @@ fn main() {
         pps(sequential_s),
         pps(rayon_s),
         pps(crossbeam4_s),
+    );
+    eprintln!(
+        "[bench] cached: {:.0} cold, {:.0} warm, {:.0} rayon warm ({:.1}% hit rate, {} unique shapes)",
+        pps(cached_cold_s),
+        pps(cached_warm_s),
+        pps(cached_rayon_s),
+        cache_stats.hit_rate() * 100.0,
+        cache_stats.unique_signatures(),
     );
 }

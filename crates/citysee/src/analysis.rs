@@ -17,6 +17,7 @@ use netsim::{NodeId, SimTime};
 use rayon::prelude::*;
 use refill::diagnose::{Diagnoser, Diagnosis};
 use refill::score::{score_cause, score_flow, score_path, CauseScore, FlowScore, PathScore};
+use refill::sigcache::{CacheStats, SigCache};
 use refill::trace::{CtpVocabulary, Reconstructor};
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
@@ -97,6 +98,11 @@ pub struct Analysis {
     pub correlation: CorrelationSummary,
     /// Delay / retransmission / path statistics.
     pub transport: TransportStats,
+    /// Reconstruction memoization counters: most CitySee packets share a
+    /// handful of happy-path flow shapes, so the hit rate here is the
+    /// fraction of packets whose reconstruction was a template rehydration
+    /// instead of a full pipeline run.
+    pub recon_cache: CacheStats,
 }
 
 /// Run REFILL and all baselines over a campaign.
@@ -147,11 +153,12 @@ pub fn analyze(campaign: &Campaign) -> Analysis {
     ids.sort_unstable();
 
     let empty_path: Vec<NodeId> = Vec::new();
+    let cache = SigCache::default();
     let per_packet: Vec<(PacketRecord, FlowScore, CauseScore, PathScore, bool)> = ids
         .par_iter()
         .map(|id| {
             let events = index.get(*id).unwrap_or(&[]);
-            let report = recon.reconstruct_packet(*id, events);
+            let report = recon.reconstruct_packet_cached(*id, events, &cache);
             let est_time = source_view.estimate_time(*id);
             let diagnosis = diagnoser.diagnose(&report, est_time);
             let truth_events = truth_by_packet
@@ -213,6 +220,7 @@ pub fn analyze(campaign: &Campaign) -> Analysis {
         naive,
         correlation,
         transport,
+        recon_cache: cache.stats(),
     }
 }
 
@@ -472,6 +480,24 @@ mod tests {
     fn wit_cannot_merge_local_logs() {
         let (_, a) = analyzed();
         assert!(a.wit.fully_disconnected());
+    }
+
+    #[test]
+    fn reconstruction_cache_absorbs_duplicate_flow_shapes() {
+        let (c, a) = analyzed();
+        let stats = &a.recon_cache;
+        assert_eq!(stats.lookups() as usize, c.sim.truth.packet_count());
+        assert!(
+            (stats.entries as u64) < stats.lookups() / 2,
+            "CitySee-like traffic repeats flow shapes: {} unique of {} packets",
+            stats.entries,
+            stats.lookups()
+        );
+        assert!(
+            stats.hit_rate() > 0.3,
+            "hit rate {:.2} unexpectedly low",
+            stats.hit_rate()
+        );
     }
 
     #[test]

@@ -7,10 +7,12 @@ use eventlog::event::BASE_STATION;
 use eventlog::{merge_logs, PacketId};
 use netsim::{NodeId, SimDuration};
 use refill::diagnose::{Diagnoser, PositionBreakdown};
+use refill::sigcache::SigCache;
 use refill::trace::{CtpVocabulary, Reconstructor};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -18,10 +20,13 @@ refill — reconstruct network behavior from individual, lossy logs
 
 USAGE:
   refill simulate [--scale small|standard|paper] [--seed N] [--out DIR]
-  refill analyze  --logs DIR_OR_FILE [--sink N] [--period SECS]
-  refill trace    --logs DIR_OR_FILE --packet ORIGIN:SEQNO [--sink N] [--dot]
+  refill analyze  --logs DIR_OR_FILE [--sink N] [--period SECS] [--stats]
+  refill trace    --logs DIR_OR_FILE --packet ORIGIN:SEQNO [--sink N] [--dot] [--stats]
   refill report   [--scale small|standard|paper] [--seed N]
-  refill help";
+  refill help
+
+  --stats prints reconstruction throughput, signature-cache hit rate, and
+  the unique-flow-shape count after the run.";
 
 /// Tiny flag parser: `--key value` pairs plus boolean `--key` switches.
 struct Flags {
@@ -185,7 +190,7 @@ pub fn report(args: &[String]) -> Result<(), String> {
 
 /// `refill analyze`.
 pub fn analyze_cmd_inner(args: &[String]) -> Result<String, String> {
-    let flags = Flags::parse(args, &[])?;
+    let flags = Flags::parse(args, &["stats"])?;
     let logs = read_archive(flags.get("logs").ok_or("--logs is required")?)?;
     let (recon, sink) = build_reconstructor(&flags)?;
     let period: u64 = flags
@@ -195,7 +200,10 @@ pub fn analyze_cmd_inner(args: &[String]) -> Result<String, String> {
         .unwrap_or(30);
 
     let merged = merge_logs(&logs);
-    let reports = refill::parallel::reconstruct_rayon(&recon, &merged);
+    let cache = SigCache::default();
+    let t0 = Instant::now();
+    let reports = refill::parallel::reconstruct_rayon_cached(&recon, &merged, &cache);
+    let recon_secs = t0.elapsed().as_secs_f64();
 
     // Source view (if the archive has a base-station log).
     let bs = logs
@@ -252,7 +260,42 @@ pub fn analyze_cmd_inner(args: &[String]) -> Result<String, String> {
         out,
         "\nrouting loops detected: {loops} | lost events inferred: {inferred}"
     );
+    if flags.has("stats") {
+        out.push_str(&render_cache_stats(reports.len(), recon_secs, &cache));
+    }
     Ok(out)
+}
+
+/// The `--stats` block shared by `analyze` and `trace`.
+fn render_cache_stats(packets: usize, secs: f64, cache: &SigCache) -> String {
+    use std::fmt::Write;
+    let stats = cache.stats();
+    let mut out = String::new();
+    let _ = writeln!(out, "\nreconstruction stats:");
+    let throughput = if secs > 0.0 {
+        packets as f64 / secs
+    } else {
+        0.0
+    };
+    let _ = writeln!(
+        out,
+        "  throughput       : {packets} packets in {secs:.3}s ({throughput:.0} packets/sec)"
+    );
+    let _ = writeln!(
+        out,
+        "  cache hit rate   : {:.1}% ({} hits / {} lookups)",
+        stats.hit_rate() * 100.0,
+        stats.hits,
+        stats.lookups()
+    );
+    let _ = writeln!(
+        out,
+        "  unique signatures: {} ({} resident, {} evicted)",
+        stats.unique_signatures(),
+        stats.entries,
+        stats.evictions
+    );
+    out
 }
 
 /// `refill analyze`, printing.
@@ -263,7 +306,7 @@ pub fn analyze(args: &[String]) -> Result<(), String> {
 
 /// `refill trace`.
 pub fn trace(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["dot"])?;
+    let flags = Flags::parse(args, &["dot", "stats"])?;
     let logs = read_archive(flags.get("logs").ok_or("--logs is required")?)?;
     let packet = parse_packet(flags.get("packet").ok_or("--packet is required")?)?;
     let (recon, _) = build_reconstructor(&flags)?;
@@ -304,6 +347,19 @@ pub fn trace(args: &[String]) -> Result<(), String> {
             cause.label(),
             diag.loss_node.map(|n| n.to_string()).unwrap_or_default()
         );
+    }
+    if flags.has("stats") {
+        match recon.signature_of(packet, events) {
+            Some(sig) => println!("  signature: {sig}"),
+            None => println!("  signature: (cache-ineligible group)"),
+        }
+        // Whole-archive cached run, so the one packet's flow shape is put
+        // in context: how common is it, how much does memoization save?
+        let cache = SigCache::default();
+        let t0 = Instant::now();
+        let reports = refill::parallel::reconstruct_rayon_cached(&recon, &merged, &cache);
+        let secs = t0.elapsed().as_secs_f64();
+        print!("{}", render_cache_stats(reports.len(), secs, &cache));
     }
     Ok(())
 }
@@ -359,6 +415,19 @@ mod tests {
         .unwrap();
         assert!(report.contains("loss causes:"));
         assert!(report.contains("top loss positions:"));
+        assert!(!report.contains("reconstruction stats:"));
+
+        let with_stats = analyze_cmd_inner(&args(&[
+            "--logs",
+            dir.to_str().unwrap(),
+            "--sink",
+            "0",
+            "--stats",
+        ]))
+        .unwrap();
+        assert!(with_stats.contains("reconstruction stats:"));
+        assert!(with_stats.contains("cache hit rate"));
+        assert!(with_stats.contains("unique signatures"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -57,6 +57,7 @@ pub mod incremental;
 pub mod net;
 pub mod parallel;
 pub mod score;
+pub mod sigcache;
 pub mod trace;
 
 pub use diagnose::{DiagnosedCause, Diagnoser, Diagnosis};
@@ -64,4 +65,7 @@ pub use flow::{EventFlow, FlowEntry};
 pub use incremental::IncrementalReconstructor;
 pub use fsm::{FsmBuilder, FsmTemplate, StateId};
 pub use net::{ConnectedNet, EngineId, NetWarning};
-pub use trace::{CtpVocabulary, PacketReport, ReconOptions, Reconstructor};
+pub use sigcache::{CacheStats, SigCache};
+pub use trace::{
+    CtpVocabulary, FlowSignature, PacketReport, ReconOptions, Reconstructor, ReportTemplate,
+};

@@ -19,6 +19,7 @@
 //! test suite verifies — determinism is a core invariant (DESIGN.md §5).
 
 use crate::diagnose::{Diagnoser, Diagnosis};
+use crate::sigcache::SigCache;
 use crate::trace::{PacketReport, Reconstructor};
 use eventlog::{MergedLog, PacketId, SimTime};
 use rayon::prelude::*;
@@ -31,6 +32,25 @@ pub fn reconstruct_rayon(recon: &Reconstructor, merged: &MergedLog) -> Vec<Packe
         .map(|i| {
             let (id, events) = index.group(i);
             recon.reconstruct_packet(id, events)
+        })
+        .collect()
+}
+
+/// [`reconstruct_rayon`] through a shared signature cache: workers publish
+/// templates as they discover new flow shapes and hit each other's work for
+/// the repeats. The output is identical to the uncached drivers (tested);
+/// only the amount of recomputation changes.
+pub fn reconstruct_rayon_cached(
+    recon: &Reconstructor,
+    merged: &MergedLog,
+    cache: &SigCache,
+) -> Vec<PacketReport> {
+    let index = merged.packet_index();
+    (0..index.len())
+        .into_par_iter()
+        .map(|i| {
+            let (id, events) = index.group(i);
+            recon.reconstruct_packet_cached(id, events, cache)
         })
         .collect()
 }
@@ -64,6 +84,45 @@ pub fn reconstruct_crossbeam(
                 for (j, slot) in out.iter_mut().enumerate() {
                     let (id, events) = index.group(start + j);
                     *slot = Some(recon.reconstruct_packet(id, events));
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// [`reconstruct_crossbeam`] through a shared signature cache (same
+/// disjoint-chunk structure; the cache is the only shared mutable state and
+/// carries its own per-shard locks).
+pub fn reconstruct_crossbeam_cached(
+    recon: &Reconstructor,
+    merged: &MergedLog,
+    workers: usize,
+    cache: &SigCache,
+) -> Vec<PacketReport> {
+    let index = merged.packet_index();
+    let n = index.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    let chunk = n.div_ceil(workers);
+    let mut slots: Vec<Option<PacketReport>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+
+    crossbeam::thread::scope(|scope| {
+        for (w, out) in slots.chunks_mut(chunk).enumerate() {
+            let index = &index;
+            scope.spawn(move |_| {
+                let start = w * chunk;
+                for (j, slot) in out.iter_mut().enumerate() {
+                    let (id, events) = index.group(start + j);
+                    *slot = Some(recon.reconstruct_packet_cached(id, events, cache));
                 }
             });
         }
@@ -179,5 +238,59 @@ mod tests {
         let merged = merge_logs(&[]);
         assert!(reconstruct_rayon(&recon, &merged).is_empty());
         assert!(reconstruct_crossbeam(&recon, &merged, 4).is_empty());
+        let cache = SigCache::default();
+        assert!(reconstruct_rayon_cached(&recon, &merged, &cache).is_empty());
+        assert!(reconstruct_crossbeam_cached(&recon, &merged, 4, &cache).is_empty());
+    }
+
+    #[test]
+    fn cached_rayon_matches_sequential_and_shares_templates() {
+        let recon = Reconstructor::new(CtpVocabulary::table2());
+        let merged = sample_log();
+        let seq = recon.reconstruct_log(&merged);
+        let cache = SigCache::default();
+        let cached = reconstruct_rayon_cached(&recon, &merged, &cache);
+        assert_eq!(seq, cached);
+        let stats = cache.stats();
+        // 20 packets fall into far fewer flow shapes (the loss pattern has
+        // period lcm(3,4,5) > 20, but many packets still share shapes).
+        assert_eq!(stats.lookups(), 20);
+        assert!(
+            stats.entries < 20,
+            "duplicate shapes must share templates ({} unique)",
+            stats.entries
+        );
+        // A second run over the same log is answered entirely from cache.
+        let again = reconstruct_rayon_cached(&recon, &merged, &cache);
+        assert_eq!(seq, again);
+        assert_eq!(cache.stats().misses, stats.misses);
+    }
+
+    #[test]
+    fn cached_crossbeam_matches_sequential_across_worker_counts() {
+        let recon = Reconstructor::new(CtpVocabulary::table2());
+        let merged = sample_log();
+        let seq = recon.reconstruct_log(&merged);
+        for workers in [1, 2, 4] {
+            let cache = SigCache::default();
+            let cached = reconstruct_crossbeam_cached(&recon, &merged, workers, &cache);
+            assert_eq!(seq, cached, "workers={workers}");
+            assert_eq!(cache.stats().lookups(), 20, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn one_cache_serves_both_drivers() {
+        let recon = Reconstructor::new(CtpVocabulary::table2());
+        let merged = sample_log();
+        let cache = SigCache::default();
+        let a = reconstruct_rayon_cached(&recon, &merged, &cache);
+        let warm = cache.stats();
+        let b = reconstruct_crossbeam_cached(&recon, &merged, 4, &cache);
+        assert_eq!(a, b);
+        // The crossbeam pass reused the rayon pass's templates: no new
+        // shapes were published.
+        assert_eq!(cache.stats().inserts, warm.inserts);
+        assert_eq!(cache.stats().hits, warm.hits + 20);
     }
 }

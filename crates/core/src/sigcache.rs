@@ -1,0 +1,371 @@
+//! Sharded concurrent memoization cache for reconstruction templates.
+//!
+//! Keys are canonical flow-shape signatures ([`crate::trace::FlowSignature`]),
+//! values are node-abstract [`ReportTemplate`]s shared behind `Arc`. The
+//! cache is safe to share by reference across the rayon and crossbeam
+//! drivers: each lookup locks exactly one shard (selected by the
+//! signature's high bits, which the two-lane mixer distributes uniformly),
+//! so under N shards, N threads rarely contend.
+//!
+//! Capacity is bounded. Each shard runs a second-chance (clock) policy: a
+//! FIFO queue of resident signatures plus a per-entry referenced bit that a
+//! hit sets and an eviction scan clears — one-hit wonders leave on the
+//! first pass, repeating happy-path shapes survive. This keeps a CitySee
+//! 30-day run memory-flat no matter how many rare shapes drift through.
+//!
+//! Hit/miss/insert/eviction counters are kept per shard as relaxed
+//! atomics (they feed stats, not control flow) and summed on demand by
+//! [`SigCache::stats`].
+
+use crate::trace::{FlowSignature, ReportTemplate};
+use parking_lot::Mutex;
+use rustc_hash::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default total template capacity. Templates are small (a few hundred
+/// bytes for a happy-path flow), so even the full default is a few tens of
+/// MiB in the worst case, while CitySee-like workloads use a few thousand
+/// unique shapes.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Default shard count; a power of two so shard selection is a shift.
+const DEFAULT_SHARDS: usize = 16;
+
+/// A bounded, sharded `signature → Arc<ReportTemplate>` cache.
+pub struct SigCache {
+    shards: Vec<Shard>,
+    shard_bits: u32,
+    per_shard_cap: usize,
+}
+
+#[derive(Default)]
+struct Shard {
+    inner: Mutex<ShardMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+#[derive(Default)]
+struct ShardMap {
+    map: FxHashMap<FlowSignature, CacheEntry>,
+    /// Clock queue for second-chance eviction, in insertion order.
+    clock: VecDeque<FlowSignature>,
+}
+
+struct CacheEntry {
+    template: Arc<ReportTemplate>,
+    /// Set on hit, cleared (once) by an eviction scan before the entry is
+    /// actually dropped — the "second chance".
+    referenced: bool,
+}
+
+/// A point-in-time summary of the cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found a template.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Templates published (one per unique signature reconstructed, minus
+    /// insert races that another thread won).
+    pub inserts: u64,
+    /// Templates dropped by the second-chance policy.
+    pub evictions: u64,
+    /// Templates currently resident.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// Unique flow shapes seen (as counted by template publications; exact
+    /// while nothing has been evicted, a slight overcount after).
+    pub fn unique_signatures(&self) -> u64 {
+        self.inserts
+    }
+}
+
+impl SigCache {
+    /// A cache holding at most `capacity` templates, with the default
+    /// shard count.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit shard count (rounded up to a power of two,
+    /// clamped to 1..=256). Capacity is divided evenly across shards, at
+    /// least one template per shard.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, 256).next_power_of_two();
+        SigCache {
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            shard_bits: shards.trailing_zeros(),
+            per_shard_cap: capacity.div_ceil(shards).max(1),
+        }
+    }
+
+    fn shard(&self, sig: FlowSignature) -> &Shard {
+        let i = if self.shard_bits == 0 {
+            0
+        } else {
+            (sig.hi >> (64 - self.shard_bits)) as usize
+        };
+        &self.shards[i]
+    }
+
+    /// Look up a template, marking it recently-used on a hit.
+    pub fn get(&self, sig: FlowSignature) -> Option<Arc<ReportTemplate>> {
+        let shard = self.shard(sig);
+        let found = {
+            let mut inner = shard.inner.lock();
+            inner.map.get_mut(&sig).map(|entry| {
+                entry.referenced = true;
+                Arc::clone(&entry.template)
+            })
+        };
+        match found {
+            Some(template) => {
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                Some(template)
+            }
+            None => {
+                shard.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Publish a template, evicting second-chance victims if the shard is
+    /// full. If another thread already published this signature the
+    /// existing template wins (both are equivalent by construction).
+    pub fn insert(&self, sig: FlowSignature, template: Arc<ReportTemplate>) {
+        let shard = self.shard(sig);
+        let mut evicted = 0u64;
+        {
+            let mut guard = shard.inner.lock();
+            let inner = &mut *guard;
+            if inner.map.contains_key(&sig) {
+                return;
+            }
+            while inner.map.len() >= self.per_shard_cap {
+                let Some(candidate) = inner.clock.pop_front() else {
+                    break;
+                };
+                match inner.map.get_mut(&candidate) {
+                    Some(entry) if entry.referenced => {
+                        entry.referenced = false;
+                        inner.clock.push_back(candidate);
+                    }
+                    Some(_) => {
+                        inner.map.remove(&candidate);
+                        evicted += 1;
+                    }
+                    // Defensive: a stale clock slot costs one pop.
+                    None => {}
+                }
+            }
+            inner.clock.push_back(sig);
+            inner.map.insert(
+                sig,
+                CacheEntry {
+                    template,
+                    referenced: false,
+                },
+            );
+        }
+        shard.inserts.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            shard.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Sum the per-shard counters.
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = CacheStats::default();
+        for shard in &self.shards {
+            stats.hits += shard.hits.load(Ordering::Relaxed);
+            stats.misses += shard.misses.load(Ordering::Relaxed);
+            stats.inserts += shard.inserts.load(Ordering::Relaxed);
+            stats.evictions += shard.evictions.load(Ordering::Relaxed);
+            stats.entries += shard.inner.lock().map.len();
+        }
+        stats
+    }
+
+    /// Templates currently resident.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.inner.lock().map.len()).sum()
+    }
+
+    /// True if no template is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total template capacity (per-shard capacity × shard count).
+    pub fn capacity(&self) -> usize {
+        self.per_shard_cap * self.shards.len()
+    }
+
+    /// Drop every template; counters are preserved.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut inner = shard.inner.lock();
+            inner.map.clear();
+            inner.clock.clear();
+        }
+    }
+}
+
+impl Default for SigCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::EventFlow;
+    use crate::trace::PacketReport;
+    use eventlog::PacketId;
+    use netsim::NodeId;
+
+    fn sig(hi: u64, lo: u64) -> FlowSignature {
+        FlowSignature { hi, lo }
+    }
+
+    fn template() -> Arc<ReportTemplate> {
+        Arc::new(ReportTemplate::new(PacketReport {
+            packet: PacketId::new(NodeId(0), 0),
+            flow: EventFlow::default(),
+            omitted: Vec::new(),
+            warnings: Vec::new(),
+            engines: Vec::new(),
+            path: Vec::new(),
+            delivered: false,
+        }))
+    }
+
+    #[test]
+    fn get_and_insert_count_hits_and_misses() {
+        let cache = SigCache::new(64);
+        let s = sig(1, 2);
+        assert!(cache.get(s).is_none());
+        cache.insert(s, template());
+        assert!(cache.get(s).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.unique_signatures(), 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_first_template() {
+        let cache = SigCache::new(64);
+        let s = sig(3, 4);
+        let first = template();
+        cache.insert(s, Arc::clone(&first));
+        cache.insert(s, template());
+        assert!(Arc::ptr_eq(&cache.get(s).unwrap(), &first));
+        assert_eq!(cache.stats().inserts, 1);
+    }
+
+    #[test]
+    fn capacity_is_bounded_per_shard() {
+        // One shard so the bound is exact.
+        let cache = SigCache::with_shards(8, 1);
+        for i in 0..100u64 {
+            cache.insert(sig(i, i), template());
+        }
+        assert!(cache.len() <= 8);
+        let stats = cache.stats();
+        assert_eq!(stats.inserts, 100);
+        assert_eq!(stats.evictions, 100 - cache.len() as u64);
+    }
+
+    #[test]
+    fn second_chance_protects_recently_hit_entries() {
+        let cache = SigCache::with_shards(4, 1);
+        let hot = sig(0, 0);
+        cache.insert(hot, template());
+        for i in 1..4u64 {
+            cache.insert(sig(i, i), template());
+        }
+        // Mark the oldest entry referenced; the next insert must evict one
+        // of the cold entries instead.
+        assert!(cache.get(hot).is_some());
+        cache.insert(sig(9, 9), template());
+        assert!(cache.get(hot).is_some(), "referenced entry survived");
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let cache = SigCache::with_shards(100, 10);
+        assert_eq!(cache.shards.len(), 16);
+        assert_eq!(cache.capacity(), 16 * 7);
+        assert!(SigCache::with_shards(10, 0).shards.len() == 1);
+    }
+
+    #[test]
+    fn clear_preserves_counters() {
+        let cache = SigCache::new(64);
+        cache.insert(sig(5, 6), template());
+        assert!(cache.get(sig(5, 6)).is_some());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert!(cache.get(sig(5, 6)).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn concurrent_use_is_consistent() {
+        // Four threads race get/insert over the same 64 signatures; insert
+        // races are resolved by first-publication-wins, counters stay
+        // coherent, and the per-shard bound holds throughout.
+        let cache = SigCache::new(256);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..64u64 {
+                        let s = sig(i << 32, i);
+                        if cache.get(s).is_none() {
+                            cache.insert(s, template());
+                        }
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.lookups(), 4 * 64);
+        assert!(stats.inserts >= 64, "every signature is published at least once");
+        assert!(stats.entries <= cache.capacity());
+        assert!(stats.inserts >= stats.entries as u64);
+    }
+}

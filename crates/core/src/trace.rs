@@ -24,15 +24,17 @@
 //! consistent order, from which [`crate::diagnose`] derives loss positions
 //! and causes.
 
-use crate::ctp_model::{self, CtpModel, HopLabel};
+use crate::ctp_model::{self, CtpModel, HopLabel, UNKNOWN_NODE};
 use crate::flow::EventFlow;
 use crate::fsm::{FsmTemplate, StateId};
 use crate::net::{ConnectedNet, EngineId, InterRule, NetWarning};
+use crate::sigcache::SigCache;
 use eventlog::event::BASE_STATION;
 use eventlog::{Event, EventKind, MergedLog, PacketId};
 use netsim::NodeId;
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::sync::Arc;
 
 pub use crate::ctp_model::CtpVocabulary;
@@ -51,7 +53,7 @@ pub enum Role {
 }
 
 /// Metadata about one engine instance of a packet's reconstruction.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EngineInfo {
     /// The node this engine models.
     pub node: NodeId,
@@ -72,7 +74,7 @@ pub struct EngineInfo {
 }
 
 /// The reconstruction result for one packet.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PacketReport {
     /// The packet.
     pub packet: PacketId,
@@ -193,17 +195,92 @@ impl Reconstructor {
     /// Reconstruct one packet from its events (merged order; per-node
     /// subsequences must be in recording order).
     pub fn reconstruct_packet(&self, packet: PacketId, events: &[Event]) -> PacketReport {
-        let sink = self.sink.or_else(|| {
+        let sink = self.effective_sink(events);
+        self.reconstruct_with_sink(packet, events, sink)
+    }
+
+    /// The sink the pipeline will use for this event group: the pinned one,
+    /// or the first `serial trans` recorder.
+    fn effective_sink(&self, events: &[Event]) -> Option<NodeId> {
+        self.sink.or_else(|| {
             events
                 .iter()
                 .find(|e| matches!(e.kind, EventKind::SerialTrans))
                 .map(|e| e.node)
-        });
+        })
+    }
 
+    /// The pipeline proper, with the sink already resolved. The memoized
+    /// path calls this on canonicalized groups, whose sink is the
+    /// alpha-renamed image of the real one — re-inferring it from the
+    /// renamed events would be correct too, but resolving once keeps the
+    /// direct and cached paths on the same code.
+    fn reconstruct_with_sink(
+        &self,
+        packet: PacketId,
+        events: &[Event],
+        sink: Option<NodeId>,
+    ) -> PacketReport {
         let (mut visits, assignments) = self.segment(packet, events, sink);
         self.link(packet, &mut visits, sink);
         let order = chain_order(&visits);
         self.run(packet, events, visits, assignments, order, sink)
+    }
+
+    /// Reconstruct one packet through a signature cache.
+    ///
+    /// The packet's event group is canonicalized (node ids alpha-renamed to
+    /// first-appearance indices, packet id normalized) and hashed into a
+    /// [`FlowSignature`]. On a cache hit the stored node-abstract
+    /// [`ReportTemplate`] is rehydrated with this packet's real node and
+    /// packet ids; on a miss the canonical group is reconstructed once and
+    /// the template is published for later packets with the same flow shape.
+    /// Either way the result is exactly what [`Reconstructor::reconstruct_packet`]
+    /// would produce (property-tested).
+    ///
+    /// Cache-ineligible groups (see [`MAX_CACHEABLE_EVENTS`]) fall back to
+    /// direct reconstruction.
+    pub fn reconstruct_packet_cached(
+        &self,
+        packet: PacketId,
+        events: &[Event],
+        cache: &SigCache,
+    ) -> PacketReport {
+        let sink = self.effective_sink(events);
+        let Some(canon) = canonicalize(packet, events, sink) else {
+            return self.reconstruct_with_sink(packet, events, sink);
+        };
+        if let Some(template) = cache.get(canon.sig) {
+            return template.rehydrate(packet, &canon.nodes);
+        }
+        let report = self.reconstruct_with_sink(canon.packet, &canon.events, canon.sink);
+        let template = Arc::new(ReportTemplate::new(report));
+        let out = template.rehydrate(packet, &canon.nodes);
+        cache.insert(canon.sig, template);
+        out
+    }
+
+    /// [`Reconstructor::reconstruct_log`] through a signature cache.
+    pub fn reconstruct_log_cached(
+        &self,
+        merged: &MergedLog,
+        cache: &SigCache,
+    ) -> Vec<PacketReport> {
+        let index = merged.packet_index();
+        index
+            .iter()
+            .map(|(id, events)| self.reconstruct_packet_cached(id, events, cache))
+            .collect()
+    }
+
+    /// The canonical flow signature of one packet's event group, or `None`
+    /// if the group is cache-ineligible. Two groups share a signature
+    /// exactly when they have the same flow *shape*: the same event-kind
+    /// sequence over the same pattern of node appearances, regardless of
+    /// which concrete nodes (or which packet) produced it.
+    pub fn signature_of(&self, packet: PacketId, events: &[Event]) -> Option<FlowSignature> {
+        let sink = self.effective_sink(events);
+        canonicalize(packet, events, sink).map(|c| c.sig)
     }
 
     fn template_for(&self, role: Role) -> &FsmTemplate<HopLabel> {
@@ -604,6 +681,259 @@ impl Reconstructor {
             engines,
             path,
             delivered,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Flow signatures and memoized reconstruction (DESIGN.md §6).
+//
+// Reconstruction treats node ids as opaque labels: the pipeline only ever
+// compares them for equality (visit streams, hop evidence, role checks
+// against the origin/sink/base-station), never orders or hashes-iterates
+// them. So reconstruction commutes with any injective node rename that
+// fixes the reserved ids and maps origin to origin and sink to sink —
+// which is exactly what lets one node-abstract template serve every
+// packet with the same flow shape.
+// ---------------------------------------------------------------------
+
+/// Largest event group eligible for signature memoization. Bigger groups
+/// are pathological one-offs (storm loops, heavy retransmission streaks):
+/// their templates are large, their shapes near-unique, and caching them
+/// would evict the small happy-path templates that actually repeat.
+pub const MAX_CACHEABLE_EVENTS: usize = 512;
+
+/// Bumped whenever the signature definition changes (event codes, packing,
+/// mixer); folded into every hash so stale persisted signatures can never
+/// alias fresh ones.
+const SIG_VERSION: u64 = 1;
+
+/// A 128-bit canonical flow-shape signature (see
+/// [`Reconstructor::signature_of`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FlowSignature {
+    /// High 64 bits; [`SigCache`] shards on the top bits of this word.
+    pub hi: u64,
+    /// Low 64 bits.
+    pub lo: u64,
+}
+
+impl FlowSignature {
+    /// The signature as one 128-bit value.
+    pub fn as_u128(self) -> u128 {
+        (u128::from(self.hi) << 64) | u128::from(self.lo)
+    }
+}
+
+impl fmt::Display for FlowSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// SplitMix64 finalizer — the standard public-domain constants. Used as
+/// the per-word mixing step of the two-lane 128-bit hash below.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Two independently-seeded SplitMix lanes over the canonical word stream.
+/// Not cryptographic — it only needs to make accidental collisions between
+/// distinct flow shapes vanishingly unlikely (2^-128-ish), the same job
+/// xxh3-128 does for content-addressed caches.
+struct Mix128 {
+    hi: u64,
+    lo: u64,
+}
+
+impl Mix128 {
+    fn new(seed: u64) -> Self {
+        Mix128 {
+            hi: splitmix64(seed ^ 0x243f_6a88_85a3_08d3),
+            lo: splitmix64(seed ^ 0x1319_8a2e_0370_7344),
+        }
+    }
+
+    fn push(&mut self, v: u64) {
+        self.hi = splitmix64(self.hi ^ v);
+        self.lo = splitmix64(self.lo.rotate_left(29) ^ v ^ 0x9e37_79b9_7f4a_7c15);
+    }
+
+    fn finish(self) -> FlowSignature {
+        FlowSignature {
+            hi: splitmix64(self.hi ^ self.lo.rotate_left(17)),
+            lo: splitmix64(self.lo ^ self.hi),
+        }
+    }
+}
+
+/// Alpha-renamer: maps node ids to dense first-appearance indices. The two
+/// reserved ids are fixed points — [`BASE_STATION`] because `spawn_role`
+/// and `link` treat it specially (renaming it would change behavior), and
+/// [`UNKNOWN_NODE`] so synthesized unknown-peer events rehydrate to
+/// themselves. Canonical indices stay below `2 * MAX_CACHEABLE_EVENTS + 2`,
+/// far clear of both sentinels.
+#[derive(Default)]
+struct AlphaRenamer {
+    nodes: Vec<NodeId>,
+    index: FxHashMap<NodeId, u16>,
+}
+
+impl AlphaRenamer {
+    fn canon(&mut self, n: NodeId) -> NodeId {
+        if n == BASE_STATION || n == UNKNOWN_NODE {
+            return n;
+        }
+        if let Some(&i) = self.index.get(&n) {
+            return NodeId(i);
+        }
+        let i = self.nodes.len() as u16;
+        self.index.insert(n, i);
+        self.nodes.push(n);
+        NodeId(i)
+    }
+}
+
+/// Rewrite an event kind's peer through the renamer; non-peer kinds pass
+/// through unchanged.
+fn rename_kind(kind: EventKind, mut rename: impl FnMut(NodeId) -> NodeId) -> EventKind {
+    match kind {
+        EventKind::Recv { from } => EventKind::Recv { from: rename(from) },
+        EventKind::Overflow { from } => EventKind::Overflow { from: rename(from) },
+        EventKind::Dup { from } => EventKind::Dup { from: rename(from) },
+        EventKind::Trans { to } => EventKind::Trans { to: rename(to) },
+        EventKind::AckRecvd { to } => EventKind::AckRecvd { to: rename(to) },
+        EventKind::Timeout { to } => EventKind::Timeout { to: rename(to) },
+        other => other,
+    }
+}
+
+/// One canonical word per event: recorded node, peer (+presence bit), kind
+/// code, and the opaque payload of `Custom` kinds.
+fn pack_event(node: NodeId, kind: &EventKind) -> u64 {
+    let (peer, has_peer) = match kind.peer() {
+        Some(p) => (u64::from(p.0), 1u64),
+        None => (0, 0),
+    };
+    let custom = match kind {
+        EventKind::Custom(c) => u64::from(*c),
+        _ => 0,
+    };
+    u64::from(node.0) | (peer << 16) | (u64::from(kind.code()) << 32) | (has_peer << 40) | (custom << 41)
+}
+
+/// The node-abstract form of one packet's event group.
+struct CanonicalGroup {
+    /// Hash of the canonical stream.
+    sig: FlowSignature,
+    /// Alpha-renamed events carrying the canonical packet id.
+    events: Vec<Event>,
+    /// Canonical packet id: canonical origin, seqno 0.
+    packet: PacketId,
+    /// Alpha-renamed effective sink.
+    sink: Option<NodeId>,
+    /// Inverse map: canonical index → real node. Indices past the end
+    /// (the fixed points) rehydrate to themselves.
+    nodes: Vec<NodeId>,
+}
+
+/// Canonicalize a packet's event group, or `None` when it is
+/// cache-ineligible (too many events, or a stray event of a different
+/// packet mixed into the group).
+///
+/// Index assignment order is part of the signature definition: events in
+/// merged order (recording node first, then peer), then the origin, then
+/// the sink — so an origin or pinned sink that appears in no event (both
+/// still steer `spawn_role`/`link`) gets a deterministic index too.
+fn canonicalize(packet: PacketId, events: &[Event], sink: Option<NodeId>) -> Option<CanonicalGroup> {
+    if events.len() > MAX_CACHEABLE_EVENTS || events.iter().any(|e| e.packet != packet) {
+        return None;
+    }
+    let mut ren = AlphaRenamer::default();
+    let mut shapes: Vec<(NodeId, EventKind)> = Vec::with_capacity(events.len());
+    for e in events {
+        let node = ren.canon(e.node);
+        let kind = rename_kind(e.kind, |n| ren.canon(n));
+        shapes.push((node, kind));
+    }
+    let origin = ren.canon(packet.origin);
+    let canon_sink = sink.map(|s| ren.canon(s));
+    let canon_packet = PacketId::new(origin, 0);
+
+    let mut mix = Mix128::new(SIG_VERSION);
+    mix.push(shapes.len() as u64);
+    mix.push(u64::from(origin.0));
+    mix.push(canon_sink.map_or(u64::MAX, |s| u64::from(s.0)));
+    for (node, kind) in &shapes {
+        mix.push(pack_event(*node, kind));
+    }
+
+    Some(CanonicalGroup {
+        sig: mix.finish(),
+        events: shapes
+            .into_iter()
+            .map(|(node, kind)| Event::new(node, kind, canon_packet))
+            .collect(),
+        packet: canon_packet,
+        sink: canon_sink,
+        nodes: ren.nodes,
+    })
+}
+
+/// A node-abstract reconstruction result: the [`PacketReport`] of a
+/// canonical event group, shared via [`SigCache`] by every packet whose
+/// group has the same flow shape. [`ReportTemplate::rehydrate`] substitutes
+/// a packet's real node and packet ids back in.
+#[derive(Debug, Clone)]
+pub struct ReportTemplate {
+    report: PacketReport,
+}
+
+impl ReportTemplate {
+    pub(crate) fn new(report: PacketReport) -> Self {
+        ReportTemplate { report }
+    }
+
+    /// Number of flow entries in the template (diagnostic; used by cache
+    /// size accounting and tests).
+    pub fn flow_len(&self) -> usize {
+        self.report.flow.entries.len()
+    }
+
+    /// Produce the concrete [`PacketReport`] for `packet`, mapping each
+    /// canonical node index back through `nodes` (indices past the end —
+    /// the reserved ids — map to themselves).
+    pub fn rehydrate(&self, packet: PacketId, nodes: &[NodeId]) -> PacketReport {
+        fn real(nodes: &[NodeId], n: NodeId) -> NodeId {
+            nodes.get(usize::from(n.0)).copied().unwrap_or(n)
+        }
+        let real_event = |e: &Event| {
+            Event::new(
+                real(nodes, e.node),
+                rename_kind(e.kind, |n| real(nodes, n)),
+                packet,
+            )
+        };
+        PacketReport {
+            packet,
+            flow: self.report.flow.map(real_event),
+            omitted: self.report.omitted.iter().map(real_event).collect(),
+            // `NetWarning` speaks in engine/state ids, not node ids.
+            warnings: self.report.warnings.clone(),
+            engines: self
+                .report
+                .engines
+                .iter()
+                .map(|e| EngineInfo {
+                    node: real(nodes, e.node),
+                    ..e.clone()
+                })
+                .collect(),
+            path: self.report.path.iter().map(|&n| real(nodes, n)).collect(),
+            delivered: self.report.delivered,
         }
     }
 }
@@ -1125,5 +1455,226 @@ mod tests {
         )]);
         assert_eq!(report.omitted.len(), 1);
         assert!(matches!(report.omitted[0].kind, EventKind::BsRecv));
+    }
+
+    // --- flow signatures + memoized reconstruction ---
+
+    /// The Case 4 routing-loop event group (1 → 2 → 3 → 1 → 2).
+    fn case4_events() -> Vec<Event> {
+        let logs = vec![
+            LocalLog::from_events(
+                n(1),
+                vec![
+                    ev(1, EventKind::Trans { to: n(2) }),
+                    ev(1, EventKind::AckRecvd { to: n(2) }),
+                    ev(1, EventKind::Recv { from: n(3) }),
+                    ev(1, EventKind::Trans { to: n(2) }),
+                    ev(1, EventKind::AckRecvd { to: n(2) }),
+                ],
+            ),
+            LocalLog::from_events(
+                n(2),
+                vec![
+                    ev(2, EventKind::Recv { from: n(1) }),
+                    ev(2, EventKind::Trans { to: n(3) }),
+                    ev(2, EventKind::AckRecvd { to: n(3) }),
+                    ev(2, EventKind::Trans { to: n(3) }),
+                ],
+            ),
+            LocalLog::from_events(
+                n(3),
+                vec![
+                    ev(3, EventKind::Recv { from: n(2) }),
+                    ev(3, EventKind::Trans { to: n(1) }),
+                    ev(3, EventKind::AckRecvd { to: n(1) }),
+                ],
+            ),
+        ];
+        merge_logs(&logs).by_packet()[&pid()].clone()
+    }
+
+    #[test]
+    fn routing_loop_and_loop_free_twin_get_different_signatures() {
+        let recon = Reconstructor::new(CtpVocabulary::table2());
+        // A loop 1 → 2 → 3 → 1: the final hop lands back on the origin,
+        // which spawns a second visit there (Case 4). Its loop-free twin
+        // has the *identical kind sequence* but the final hop lands on a
+        // fresh node 4 — only the node-appearance pattern differs, which is
+        // exactly what the alpha-renaming must preserve.
+        let looped = vec![
+            ev(1, EventKind::Trans { to: n(2) }),
+            ev(2, EventKind::Recv { from: n(1) }),
+            ev(2, EventKind::Trans { to: n(3) }),
+            ev(3, EventKind::Recv { from: n(2) }),
+            ev(3, EventKind::Trans { to: n(1) }),
+            ev(1, EventKind::Recv { from: n(3) }),
+        ];
+        let twin = vec![
+            ev(1, EventKind::Trans { to: n(2) }),
+            ev(2, EventKind::Recv { from: n(1) }),
+            ev(2, EventKind::Trans { to: n(3) }),
+            ev(3, EventKind::Recv { from: n(2) }),
+            ev(3, EventKind::Trans { to: n(4) }),
+            ev(4, EventKind::Recv { from: n(3) }),
+        ];
+        // Sanity: the looped group really is a Case 4 revisit.
+        assert!(recon.reconstruct_packet(pid(), &looped).has_routing_loop());
+        assert!(!recon.reconstruct_packet(pid(), &twin).has_routing_loop());
+        let s1 = recon.signature_of(pid(), &looped).unwrap();
+        let s2 = recon.signature_of(pid(), &twin).unwrap();
+        assert_ne!(s1, s2, "loop vs. loop-free twin must not collide");
+    }
+
+    #[test]
+    fn signature_is_invariant_under_node_renaming_and_packet_identity() {
+        let recon = Reconstructor::new(CtpVocabulary::table2());
+        let original = case4_events();
+        // Same shape on disjoint nodes and a different packet.
+        let other = PacketId::new(n(11), 42);
+        let renamed: Vec<Event> = original
+            .iter()
+            .map(|e| {
+                Event::new(
+                    NodeId(e.node.0 + 10),
+                    rename_kind(e.kind, |x| NodeId(x.0 + 10)),
+                    other,
+                )
+            })
+            .collect();
+        assert_eq!(
+            recon.signature_of(pid(), &original).unwrap(),
+            recon.signature_of(other, &renamed).unwrap(),
+        );
+    }
+
+    #[test]
+    fn signature_depends_on_pinned_sink() {
+        // The sink steers spawn_role even when it logs nothing, so pinning
+        // a different sink must change the signature.
+        let events = vec![ev(1, EventKind::Trans { to: n(2) })];
+        let free = Reconstructor::new(CtpVocabulary::table2());
+        let pinned = Reconstructor::new(CtpVocabulary::table2()).with_sink(n(2));
+        assert_ne!(
+            free.signature_of(pid(), &events).unwrap(),
+            pinned.signature_of(pid(), &events).unwrap(),
+        );
+    }
+
+    #[test]
+    fn oversized_groups_are_cache_ineligible() {
+        let recon = Reconstructor::new(CtpVocabulary::table2());
+        let events: Vec<Event> = (0..=MAX_CACHEABLE_EVENTS)
+            .map(|_| ev(1, EventKind::Trans { to: n(2) }))
+            .collect();
+        assert!(recon.signature_of(pid(), &events).is_none());
+        // Still reconstructs, just uncached.
+        let cache = SigCache::new(16);
+        let direct = recon.reconstruct_packet(pid(), &events);
+        let cached = recon.reconstruct_packet_cached(pid(), &events, &cache);
+        assert_eq!(direct, cached);
+        assert_eq!(cache.stats().lookups(), 0);
+    }
+
+    #[test]
+    fn cached_reconstruction_matches_direct_on_table2_cases() {
+        let recon = Reconstructor::new(CtpVocabulary::table2());
+        let cache = SigCache::new(1024);
+        let groups: Vec<Vec<Event>> = vec![
+            case4_events(),
+            vec![
+                ev(1, EventKind::Trans { to: n(2) }),
+                ev(3, EventKind::Recv { from: n(2) }),
+            ],
+            vec![
+                ev(1, EventKind::Trans { to: n(2) }),
+                ev(1, EventKind::AckRecvd { to: n(2) }),
+            ],
+            vec![
+                ev(1, EventKind::AckRecvd { to: n(2) }),
+                ev(1, EventKind::Trans { to: n(2) }),
+            ],
+            vec![
+                ev(1, EventKind::Trans { to: n(2) }),
+                ev(2, EventKind::Dup { from: n(1) }),
+            ],
+        ];
+        // Twice over: the second pass is all hits and must still match.
+        for pass in 0..2 {
+            for events in &groups {
+                let direct = recon.reconstruct_packet(pid(), events);
+                let cached = recon.reconstruct_packet_cached(pid(), events, &cache);
+                assert_eq!(direct, cached, "pass {pass}");
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, groups.len() as u64);
+        assert_eq!(stats.hits, groups.len() as u64);
+        assert_eq!(stats.entries, groups.len());
+    }
+
+    #[test]
+    fn cache_hit_rehydrates_real_nodes_for_a_different_packet() {
+        let recon = Reconstructor::new(CtpVocabulary::table2());
+        let cache = SigCache::new(64);
+        // Warm the cache with the 1→2→3 shape.
+        let warm = vec![
+            ev(1, EventKind::Trans { to: n(2) }),
+            ev(3, EventKind::Recv { from: n(2) }),
+        ];
+        recon.reconstruct_packet_cached(pid(), &warm, &cache);
+        // Same shape on nodes 7→8→9, different packet: must hit and come
+        // back with ids 7/8/9, not 1/2/3.
+        let other = PacketId::new(n(7), 5);
+        let events = vec![
+            Event::new(n(7), EventKind::Trans { to: n(8) }, other),
+            Event::new(n(9), EventKind::Recv { from: n(8) }, other),
+        ];
+        let report = recon.reconstruct_packet_cached(other, &events, &cache);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(report.packet, other);
+        assert_eq!(
+            report.flow.to_string(),
+            "7-8 trans, [7-8 recv], [8-9 trans], 8-9 recv"
+        );
+        assert_eq!(report.path, vec![n(7), n(8), n(9)]);
+        assert_eq!(report, recon.reconstruct_packet(other, &events));
+    }
+
+    #[test]
+    fn base_station_survives_rehydration() {
+        let p = pid();
+        let logs = vec![
+            LocalLog::from_events(
+                n(0),
+                vec![
+                    ev(0, EventKind::Recv { from: n(1) }),
+                    ev(0, EventKind::SerialTrans),
+                ],
+            ),
+            LocalLog::from_events(
+                BASE_STATION,
+                vec![Event::new(BASE_STATION, EventKind::BsRecv, p)],
+            ),
+        ];
+        let merged = merge_logs(&logs);
+        let recon = Reconstructor::new(CtpVocabulary::table2()).with_sink(n(0));
+        let cache = SigCache::new(64);
+        let events = &merged.by_packet()[&p];
+        let direct = recon.reconstruct_packet(p, events);
+        let cached = recon.reconstruct_packet_cached(p, events, &cache);
+        assert_eq!(direct, cached);
+        assert!(cached.delivered);
+        assert!(cached.path.contains(&BASE_STATION));
+    }
+
+    #[test]
+    fn mixed_packet_group_is_cache_ineligible() {
+        // Defensive: a caller handing a group with a stray foreign event
+        // falls back to direct reconstruction instead of poisoning the
+        // cache with an ill-defined canonical form.
+        let recon = Reconstructor::new(CtpVocabulary::table2());
+        let stray = Event::new(n(1), EventKind::Origin, PacketId::new(n(9), 9));
+        let events = vec![ev(1, EventKind::Trans { to: n(2) }), stray];
+        assert!(recon.signature_of(pid(), &events).is_none());
     }
 }

@@ -157,6 +157,32 @@ impl EventKind {
         }
     }
 
+    /// A dense, stable code for the event *type* with the peer information
+    /// stripped — the `V` component alone. This is the signature input used
+    /// by flow-shape hashing (`refill::trace::FlowSignature`): two events of
+    /// the same kind with different peers share a code, so the peer must be
+    /// folded in separately (alpha-renamed, in the signature's case).
+    ///
+    /// Codes are part of the signature definition: changing an existing
+    /// assignment silently invalidates persisted signatures, so new kinds
+    /// must take fresh codes.
+    pub fn code(&self) -> u8 {
+        match self {
+            EventKind::Recv { .. } => 0,
+            EventKind::Overflow { .. } => 1,
+            EventKind::Dup { .. } => 2,
+            EventKind::Trans { .. } => 3,
+            EventKind::AckRecvd { .. } => 4,
+            EventKind::Origin => 5,
+            EventKind::Enqueue => 6,
+            EventKind::Timeout { .. } => 7,
+            EventKind::SerialTrans => 8,
+            EventKind::BsRecv => 9,
+            EventKind::Deliver => 10,
+            EventKind::Custom(_) => 11,
+        }
+    }
+
     /// A short name matching the paper's notation.
     pub fn name(&self) -> &'static str {
         match self {

@@ -334,6 +334,47 @@ proptest! {
         }
     }
 
+    /// Memoized reconstruction through the signature cache is
+    /// indistinguishable from the direct pipeline on arbitrary event soups,
+    /// both on a cold cache and when the answer comes from a shared
+    /// template (second call).
+    #[test]
+    fn cached_reconstruction_equals_direct(
+        raw in proptest::collection::vec((0u16..6, 0u8..12, 0u16..6), 0..25)
+    ) {
+        use refill::sigcache::SigCache;
+
+        let p = PacketId::new(NodeId(0), 0);
+        let events: Vec<Event> = raw
+            .into_iter()
+            .map(|(node, kind, peer)| {
+                let peer = NodeId(peer);
+                let kind = match kind {
+                    0 => EventKind::Recv { from: peer },
+                    1 => EventKind::Overflow { from: peer },
+                    2 => EventKind::Dup { from: peer },
+                    3 => EventKind::Trans { to: peer },
+                    4 => EventKind::AckRecvd { to: peer },
+                    5 => EventKind::Origin,
+                    6 => EventKind::Enqueue,
+                    7 => EventKind::Timeout { to: peer },
+                    8 => EventKind::SerialTrans,
+                    9 => EventKind::BsRecv,
+                    10 => EventKind::Deliver,
+                    _ => EventKind::Custom(7),
+                };
+                Event::new(NodeId(node), kind, p)
+            })
+            .collect();
+        for vocab in [CtpVocabulary::table2(), CtpVocabulary::citysee(), CtpVocabulary::full()] {
+            let recon = Reconstructor::new(vocab).with_sink(NodeId(0));
+            let direct = recon.reconstruct_packet(p, &events);
+            let cache = SigCache::default();
+            prop_assert_eq!(&direct, &recon.reconstruct_packet_cached(p, &events, &cache));
+            prop_assert_eq!(&direct, &recon.reconstruct_packet_cached(p, &events, &cache));
+        }
+    }
+
     /// Dropping more events never increases the observed count.
     #[test]
     fn observed_count_is_monotone(mask in proptest::collection::vec(any::<bool>(), 12), drop_idx in 0usize..12) {
