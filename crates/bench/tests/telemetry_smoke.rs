@@ -1,0 +1,63 @@
+//! Coarse guard against telemetry regressions on the cached hot path.
+//!
+//! Ignored by default because it measures wall-clock time; the CI telemetry
+//! job runs it explicitly in release mode where the timing is stable enough
+//! for the deliberately loose 10% bound.
+
+use citysee::{run_scenario, Scenario};
+use eventlog::MergedLog;
+use refill::sigcache::SigCache;
+use refill::telemetry::{AtomicRecorder, Recorder};
+use refill::trace::{CtpVocabulary, Reconstructor};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Mean seconds per warm cached run (one cache-filling warm-up, then
+/// `reps` measured runs against the now-warm cache).
+fn secs_per_run(recon: &Reconstructor, cache: &SigCache, merged: &MergedLog, reps: u32) -> f64 {
+    std::hint::black_box(recon.reconstruct_log_cached(merged, cache));
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(recon.reconstruct_log_cached(merged, cache));
+    }
+    t0.elapsed().as_secs_f64() / f64::from(reps)
+}
+
+#[test]
+#[ignore = "timing-sensitive; run in release mode via the CI telemetry job"]
+fn instrumented_throughput_within_10_percent_of_noop() {
+    let scenario = Scenario {
+        days: 1,
+        ..Scenario::small()
+    };
+    let campaign = run_scenario(&scenario);
+    let merged = &campaign.merged;
+    let sink = campaign.topology.sink();
+    let reps = 5;
+
+    let plain = Reconstructor::new(CtpVocabulary::citysee()).with_sink(sink);
+    let plain_cache = SigCache::default();
+    let noop_secs = secs_per_run(&plain, &plain_cache, merged, reps);
+
+    let recorder = Arc::new(AtomicRecorder::new());
+    let for_recon: Arc<dyn Recorder> = Arc::clone(&recorder);
+    let for_cache: Arc<dyn Recorder> = Arc::clone(&recorder);
+    let instrumented = Reconstructor::new(CtpVocabulary::citysee())
+        .with_sink(sink)
+        .with_recorder(for_recon);
+    let instrumented_cache = SigCache::default().with_recorder(for_cache);
+    let instrumented_secs = secs_per_run(&instrumented, &instrumented_cache, merged, reps);
+
+    // Sanity: the instrumented pass really recorded something.
+    let snap = recorder.snapshot();
+    assert!(snap.counter("packets_reconstructed") > 0);
+    assert!(snap.stage("signature").is_some());
+
+    let throughput_ratio = noop_secs / instrumented_secs;
+    assert!(
+        throughput_ratio >= 0.9,
+        "instrumented cached reconstruction fell below 90% of plain throughput: \
+         {:.1}% (plain {noop_secs:.4}s/run, instrumented {instrumented_secs:.4}s/run)",
+        throughput_ratio * 100.0
+    );
+}

@@ -19,8 +19,10 @@ use refill::diagnose::{Diagnoser, Diagnosis};
 use refill::score::{score_cause, score_flow, score_path, CauseScore, FlowScore, PathScore};
 use refill::sigcache::{CacheStats, SigCache};
 use refill::trace::{CtpVocabulary, Reconstructor};
+use refill_telemetry::{NoopRecorder, Recorder, Stage, StageTimer, TelemetrySnapshot};
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Everything known (and inferred) about one packet after analysis.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -103,10 +105,27 @@ pub struct Analysis {
     /// fraction of packets whose reconstruction was a template rehydration
     /// instead of a full pipeline run.
     pub recon_cache: CacheStats,
+    /// Everything the attached recorder collected during this analysis
+    /// (empty when no recorder was attached).
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// Run REFILL and all baselines over a campaign.
 pub fn analyze(campaign: &Campaign) -> Analysis {
+    analyze_recorded(campaign, Arc::new(NoopRecorder))
+}
+
+/// [`analyze`] with telemetry: the reconstructor, its signature cache, and
+/// every analysis stage (reconstruction + diagnosis, baselines, transport
+/// statistics) report into `recorder`, and the final snapshot is returned
+/// on [`Analysis::telemetry`].
+///
+/// A campaign covers one contiguous stretch of days; callers wanting
+/// per-day stage timings (a day is CitySee's natural reporting unit) run
+/// one single-day campaign per day and keep one snapshot each — stages are
+/// cumulative within a recorder, so reusing one recorder across days sums
+/// them instead.
+pub fn analyze_recorded(campaign: &Campaign, recorder: Arc<dyn Recorder>) -> Analysis {
     let scenario = &campaign.scenario;
     let sink = campaign.topology.sink();
 
@@ -126,7 +145,9 @@ pub fn analyze(campaign: &Campaign) -> Analysis {
         log_origin: config.log_origin,
         log_enqueue: config.log_enqueue,
     };
-    let recon = Reconstructor::new(vocabulary).with_sink(sink);
+    let recon = Reconstructor::new(vocabulary)
+        .with_sink(sink)
+        .with_recorder(Arc::clone(&recorder));
     let diagnoser = Diagnoser::new()
         .with_outages(faults.outages.clone())
         .with_sink(sink);
@@ -141,7 +162,7 @@ pub fn analyze(campaign: &Campaign) -> Analysis {
     }
 
     // Per-packet reconstruction + diagnosis + scoring, in parallel.
-    let index = campaign.merged.packet_index();
+    let index = campaign.merged.packet_index_recorded(&*recorder);
     let mut ids: Vec<PacketId> = index.ids().to_vec();
     // Packets never mentioned in any log still deserve records (fate says
     // they existed); they get an Unknown diagnosis through an empty flow.
@@ -153,14 +174,26 @@ pub fn analyze(campaign: &Campaign) -> Analysis {
     ids.sort_unstable();
 
     let empty_path: Vec<NodeId> = Vec::new();
-    let cache = SigCache::default();
+    // With no recorder attached the cache keeps its private per-instance
+    // stats (which `Analysis::recon_cache` reads); with one attached, the
+    // cache counters land in the shared snapshot too.
+    let cache = if recorder.enabled() {
+        SigCache::default().with_recorder(Arc::clone(&recorder))
+    } else {
+        SigCache::default()
+    };
     let per_packet: Vec<(PacketRecord, FlowScore, CauseScore, PathScore, bool)> = ids
         .par_iter()
         .map(|id| {
             let events = index.get(*id).unwrap_or(&[]);
             let report = recon.reconstruct_packet_cached(*id, events, &cache);
             let est_time = source_view.estimate_time(*id);
-            let diagnosis = diagnoser.diagnose(&report, est_time);
+            let diagnosis = {
+                // Stage totals sum CPU time across rayon workers, so the
+                // diagnose span can exceed wall-clock time.
+                let _span = StageTimer::start(&*recorder, Stage::Diagnose);
+                diagnoser.diagnose(&report, est_time)
+            };
             let truth_events = truth_by_packet
                 .get(id)
                 .map(|v| v.as_slice())
@@ -204,12 +237,20 @@ pub fn analyze(campaign: &Campaign) -> Analysis {
         loops_detected += usize::from(looped);
         records.push(rec);
     }
-    let transport = transport_stats(&records, &bs_log, scenario, loops_detected);
+    let transport = {
+        let _span = StageTimer::start(&*recorder, Stage::Transport);
+        transport_stats(&records, &bs_log, scenario, loops_detected)
+    };
 
     // Baselines.
-    let wit = wit_merge(&campaign.collected);
-    let naive = summarize_naive(campaign, sink);
-    let correlation = summarize_correlation(campaign, &source_view);
+    let (wit, naive, correlation) = {
+        let _span = StageTimer::start(&*recorder, Stage::Baselines);
+        (
+            wit_merge(&campaign.collected),
+            summarize_naive(campaign, sink),
+            summarize_correlation(campaign, &source_view),
+        )
+    };
 
     Analysis {
         records,
@@ -221,6 +262,7 @@ pub fn analyze(campaign: &Campaign) -> Analysis {
         correlation,
         transport,
         recon_cache: cache.stats(),
+        telemetry: recorder.snapshot(),
     }
 }
 

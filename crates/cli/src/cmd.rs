@@ -4,14 +4,16 @@ use citysee::figures::{fig9_breakdown, render_fig9_ascii};
 use citysee::{analyze as analyze_campaign, run_scenario, Scenario};
 use eventlog::archive;
 use eventlog::event::BASE_STATION;
-use eventlog::{merge_logs, PacketId};
+use eventlog::{merge_logs_recorded, PacketId};
 use netsim::{NodeId, SimDuration};
 use refill::diagnose::{Diagnoser, PositionBreakdown};
 use refill::sigcache::SigCache;
+use refill::telemetry::{AtomicRecorder, Recorder, Stage, StageTimer};
 use refill::trace::{CtpVocabulary, Reconstructor};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Top-level usage text.
@@ -20,13 +22,19 @@ refill — reconstruct network behavior from individual, lossy logs
 
 USAGE:
   refill simulate [--scale small|standard|paper] [--seed N] [--out DIR]
-  refill analyze  --logs DIR_OR_FILE [--sink N] [--period SECS] [--stats]
-  refill trace    --logs DIR_OR_FILE --packet ORIGIN:SEQNO [--sink N] [--dot] [--stats]
+  refill analyze  --logs DIR_OR_FILE [--sink N] [--period SECS] [--stats] [--telemetry FILE]
+  refill trace    --logs DIR_OR_FILE --packet ORIGIN:SEQNO [--sink N] [--dot] [--stats] [--telemetry FILE]
+  refill profile  [--logs DIR_OR_FILE] [--sink N] [--seed N] [--telemetry FILE]
   refill report   [--scale small|standard|paper] [--seed N]
   refill help
 
   --stats prints reconstruction throughput, signature-cache hit rate, and
-  the unique-flow-shape count after the run.";
+  the unique-flow-shape count after the run.
+  --telemetry FILE writes the full pipeline telemetry snapshot (counters,
+  stage timings, histograms) as JSON.
+  profile runs the whole pipeline single-threaded with telemetry attached
+  and prints a per-stage breakdown; with no --logs it simulates one
+  CitySee-like day first.";
 
 /// Tiny flag parser: `--key value` pairs plus boolean `--key` switches.
 struct Flags {
@@ -188,19 +196,57 @@ pub fn report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Recorder requested via `--telemetry FILE`, or `None`.
+fn recorder_for(flags: &Flags) -> Option<Arc<AtomicRecorder>> {
+    flags.get("telemetry").map(|_| Arc::new(AtomicRecorder::new()))
+}
+
+/// Attach `recorder` (when present) to a reconstructor.
+fn attach_recorder(recon: Reconstructor, recorder: &Option<Arc<AtomicRecorder>>) -> Reconstructor {
+    match recorder {
+        Some(r) => {
+            let shared: Arc<dyn Recorder> = Arc::clone(r);
+            recon.with_recorder(shared)
+        }
+        None => recon,
+    }
+}
+
+/// A fresh cache wired to `recorder` when present.
+fn cache_for(recorder: &Option<Arc<AtomicRecorder>>) -> SigCache {
+    match recorder {
+        Some(r) => {
+            let shared: Arc<dyn Recorder> = Arc::clone(r);
+            SigCache::default().with_recorder(shared)
+        }
+        None => SigCache::default(),
+    }
+}
+
+/// Write the `--telemetry FILE` snapshot, if requested.
+fn write_telemetry(flags: &Flags, recorder: &Option<Arc<AtomicRecorder>>) -> Result<(), String> {
+    if let (Some(path), Some(rec)) = (flags.get("telemetry"), recorder) {
+        std::fs::write(path, rec.snapshot().to_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("telemetry written to {path}");
+    }
+    Ok(())
+}
+
 /// `refill analyze`.
 pub fn analyze_cmd_inner(args: &[String]) -> Result<String, String> {
     let flags = Flags::parse(args, &["stats"])?;
     let logs = read_archive(flags.get("logs").ok_or("--logs is required")?)?;
     let (recon, sink) = build_reconstructor(&flags)?;
+    let recorder = recorder_for(&flags);
+    let recon = attach_recorder(recon, &recorder);
     let period: u64 = flags
         .get("period")
         .map(|p| p.parse().map_err(|_| "bad period"))
         .transpose()?
         .unwrap_or(30);
 
-    let merged = merge_logs(&logs);
-    let cache = SigCache::default();
+    let merged = merge_logs_recorded(&logs, &**recon.recorder());
+    let cache = cache_for(&recorder);
     let t0 = Instant::now();
     let reports = refill::parallel::reconstruct_rayon_cached(&recon, &merged, &cache);
     let recon_secs = t0.elapsed().as_secs_f64();
@@ -263,6 +309,7 @@ pub fn analyze_cmd_inner(args: &[String]) -> Result<String, String> {
     if flags.has("stats") {
         out.push_str(&render_cache_stats(reports.len(), recon_secs, &cache));
     }
+    write_telemetry(&flags, &recorder)?;
     Ok(out)
 }
 
@@ -310,16 +357,36 @@ pub fn trace(args: &[String]) -> Result<(), String> {
     let logs = read_archive(flags.get("logs").ok_or("--logs is required")?)?;
     let packet = parse_packet(flags.get("packet").ok_or("--packet is required")?)?;
     let (recon, _) = build_reconstructor(&flags)?;
+    let recorder = recorder_for(&flags);
+    let recon = attach_recorder(recon, &recorder);
 
-    let merged = merge_logs(&logs);
-    let index = merged.packet_index();
+    let merged = merge_logs_recorded(&logs, &**recon.recorder());
+    let index = merged.packet_index_recorded(&**recon.recorder());
     let events = index
         .get(packet)
         .ok_or_else(|| format!("no events for packet {packet} in the archive"))?;
-    let report = recon.reconstruct_packet(packet, events);
+
+    // With --stats the whole archive goes through one cached pass and the
+    // traced packet's report is pulled from it, so the cache numbers cover
+    // exactly one reconstruction of the archive — no second full pass.
+    let (report, stats_tail) = if flags.has("stats") {
+        let cache = cache_for(&recorder);
+        let t0 = Instant::now();
+        let reports = refill::parallel::reconstruct_index_rayon_cached(&recon, &index, &cache);
+        let secs = t0.elapsed().as_secs_f64();
+        let tail = render_cache_stats(reports.len(), secs, &cache);
+        let report = reports
+            .into_iter()
+            .find(|r| r.packet == packet)
+            .unwrap_or_else(|| recon.reconstruct_packet(packet, events));
+        (report, Some(tail))
+    } else {
+        (recon.reconstruct_packet(packet, events), None)
+    };
 
     if flags.has("dot") {
         print!("{}", report.flow.to_dot());
+        write_telemetry(&flags, &recorder)?;
         return Ok(());
     }
     println!("packet {packet}");
@@ -348,18 +415,89 @@ pub fn trace(args: &[String]) -> Result<(), String> {
             diag.loss_node.map(|n| n.to_string()).unwrap_or_default()
         );
     }
-    if flags.has("stats") {
+    if let Some(tail) = stats_tail {
         match recon.signature_of(packet, events) {
             Some(sig) => println!("  signature: {sig}"),
             None => println!("  signature: (cache-ineligible group)"),
         }
-        // Whole-archive cached run, so the one packet's flow shape is put
-        // in context: how common is it, how much does memoization save?
-        let cache = SigCache::default();
-        let t0 = Instant::now();
-        let reports = refill::parallel::reconstruct_rayon_cached(&recon, &merged, &cache);
-        let secs = t0.elapsed().as_secs_f64();
-        print!("{}", render_cache_stats(reports.len(), secs, &cache));
+        print!("{tail}");
+    }
+    write_telemetry(&flags, &recorder)?;
+    Ok(())
+}
+
+/// `refill profile`: run the whole reconstruction pipeline single-threaded
+/// with telemetry attached and print the per-stage breakdown. Without
+/// `--logs`, one CitySee-like day is simulated first so the command works
+/// standalone.
+///
+/// Single-threaded on purpose: stage totals then add up to wall-clock time
+/// instead of summing CPU time across rayon workers, which makes the table
+/// directly readable as "where did the time go".
+pub fn profile(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let mut sink_from_sim = None;
+    let logs = match flags.get("logs") {
+        Some(path) => read_archive(path)?,
+        None => {
+            let mut scenario = Scenario {
+                days: 1,
+                ..Scenario::small()
+            };
+            if let Some(seed) = flags.get("seed") {
+                scenario.seed = seed.parse().map_err(|_| "bad seed")?;
+            }
+            eprintln!(
+                "no --logs given; simulating one CitySee-like day ({} nodes, seed {})…",
+                scenario.nodes, scenario.seed
+            );
+            let campaign = run_scenario(&scenario);
+            sink_from_sim = Some(campaign.topology.sink());
+            campaign.collected
+        }
+    };
+    let (mut recon, mut sink) = build_reconstructor(&flags)?;
+    if sink.is_none() {
+        if let Some(s) = sink_from_sim {
+            recon = recon.with_sink(s);
+            sink = Some(s);
+        }
+    }
+    let recorder = Arc::new(AtomicRecorder::new());
+    let recon = {
+        let shared: Arc<dyn Recorder> = Arc::clone(&recorder);
+        recon.with_recorder(shared)
+    };
+    let diagnoser = match sink {
+        Some(s) => Diagnoser::new().with_sink(s),
+        None => Diagnoser::new(),
+    };
+
+    let t0 = Instant::now();
+    let merged = merge_logs_recorded(&logs, &*recorder);
+    let index = merged.packet_index_recorded(&*recorder);
+    let cache = {
+        let shared: Arc<dyn Recorder> = Arc::clone(&recorder);
+        SigCache::default().with_recorder(shared)
+    };
+    let mut packets = 0usize;
+    for (id, events) in index.iter() {
+        let report = recon.reconstruct_packet_cached(id, events, &cache);
+        {
+            let _span = StageTimer::start(&*recorder, Stage::Diagnose);
+            let _ = diagnoser.diagnose(&report, None);
+        }
+        packets += 1;
+    }
+    let secs = t0.elapsed().as_secs_f64();
+
+    let snapshot = recorder.snapshot();
+    print!("{}", snapshot.render_table());
+    let throughput = if secs > 0.0 { packets as f64 / secs } else { 0.0 };
+    println!("\n{packets} packets in {secs:.3}s ({throughput:.0} packets/sec, single-threaded)");
+    if let Some(path) = flags.get("telemetry") {
+        std::fs::write(path, snapshot.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("telemetry written to {path}");
     }
     Ok(())
 }
@@ -428,6 +566,21 @@ mod tests {
         assert!(with_stats.contains("reconstruction stats:"));
         assert!(with_stats.contains("cache hit rate"));
         assert!(with_stats.contains("unique signatures"));
+
+        let tele = dir.join("telemetry.json");
+        analyze_cmd_inner(&args(&[
+            "--logs",
+            dir.to_str().unwrap(),
+            "--sink",
+            "0",
+            "--telemetry",
+            tele.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let parsed: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&tele).unwrap()).unwrap();
+        assert!(parsed.get("stages").is_some(), "snapshot has a stages section");
+        assert!(parsed.get("counters").is_some(), "snapshot has a counters section");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

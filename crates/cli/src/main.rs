@@ -12,6 +12,11 @@
 //! refill trace --logs DIR_OR_FILE --packet ORIGIN:SEQNO [--sink N] [--dot]
 //!     Print one packet's reconstructed event flow (optionally as
 //!     Graphviz DOT).
+//!
+//! refill profile [--logs DIR_OR_FILE] [--telemetry FILE]
+//!     Run the pipeline single-threaded with telemetry attached and print
+//!     the per-stage time/counter breakdown (simulates one CitySee-like
+//!     day when no archive is given).
 //! ```
 //!
 //! The archive format is the `eventlog::archive` JSON-lines format, so logs
@@ -34,6 +39,7 @@ fn main() -> ExitCode {
         "simulate" => cmd::simulate(&rest),
         "analyze" => cmd::analyze(&rest),
         "trace" => cmd::trace(&rest),
+        "profile" => cmd::profile(&rest),
         "report" => cmd::report(&rest),
         "help" | "--help" | "-h" => {
             println!("{}", cmd::USAGE);

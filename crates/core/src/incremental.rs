@@ -17,7 +17,9 @@ use crate::trace::{PacketReport, Reconstructor};
 use eventlog::logger::LocalLog;
 use eventlog::{Event, PacketId};
 use rayon::prelude::*;
+use refill_telemetry::{Counter, Recorder};
 use rustc_hash::{FxHashMap, FxHashSet};
+use std::sync::Arc;
 
 /// Accumulates logs and keeps per-packet reports up to date.
 pub struct IncrementalReconstructor {
@@ -41,13 +43,26 @@ pub struct IncrementalReconstructor {
 impl IncrementalReconstructor {
     /// Wrap a configured [`Reconstructor`].
     pub fn new(recon: Reconstructor) -> Self {
+        let cache = Self::cache_for(&recon, SigCache::default());
         IncrementalReconstructor {
             recon,
             events: FxHashMap::default(),
             dirty: FxHashSet::default(),
             reports: FxHashMap::default(),
-            cache: SigCache::default(),
+            cache,
             reconstructed_len: FxHashMap::default(),
+        }
+    }
+
+    /// Wire the internal cache into the reconstructor's recorder when one
+    /// is attached, so cache counters join the pipeline-wide snapshot;
+    /// otherwise the cache keeps its private counters and
+    /// [`IncrementalReconstructor::cache_stats`] works standalone.
+    fn cache_for(recon: &Reconstructor, cache: SigCache) -> SigCache {
+        if recon.recorder().enabled() {
+            cache.with_recorder(Arc::clone(recon.recorder()))
+        } else {
+            cache
         }
     }
 
@@ -55,7 +70,7 @@ impl IncrementalReconstructor {
     /// to bound memory tighter than the default; resets warm state, so
     /// call at construction time).
     pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
-        self.cache = SigCache::new(capacity);
+        self.cache = Self::cache_for(&self.recon, SigCache::new(capacity));
         self
     }
 
@@ -104,10 +119,14 @@ impl IncrementalReconstructor {
     /// reconstruction.
     pub fn refresh(&mut self) -> Vec<PacketId> {
         let mut ids: Vec<PacketId> = self.dirty.drain().collect();
+        let drained = ids.len();
         ids.retain(|id| {
             let len = self.events.get(id).map_or(0, Vec::len);
             self.reconstructed_len.get(id).copied() != Some(len)
         });
+        let rec = self.recon.recorder();
+        rec.add(Counter::IncrementalSkipped, (drained - ids.len()) as u64);
+        rec.add(Counter::IncrementalRefreshed, ids.len() as u64);
         ids.sort_unstable();
         let recon = &self.recon;
         let events = &self.events;

@@ -64,8 +64,12 @@ pub use diagnose::{DiagnosedCause, Diagnoser, Diagnosis};
 pub use flow::{EventFlow, FlowEntry};
 pub use incremental::IncrementalReconstructor;
 pub use fsm::{FsmBuilder, FsmTemplate, StateId};
-pub use net::{ConnectedNet, EngineId, NetWarning};
+pub use net::{ConnectedNet, EngineId, NetWarning, RunStats};
 pub use sigcache::{CacheStats, SigCache};
 pub use trace::{
     CtpVocabulary, FlowSignature, PacketReport, ReconOptions, Reconstructor, ReportTemplate,
 };
+
+/// The telemetry crate, re-exported so downstream users of `refill` can
+/// attach recorders without naming a second dependency.
+pub use refill_telemetry as telemetry;

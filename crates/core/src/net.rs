@@ -141,6 +141,23 @@ pub struct RunOutput<E> {
     pub omitted: Vec<(EngineId, E)>,
     /// Diagnostics.
     pub warnings: Vec<NetWarning>,
+    /// Work counters for the run.
+    pub stats: RunStats,
+}
+
+/// Counters of the work a run performed, kept by the runner itself (plain
+/// integers — the engine stays telemetry-free; callers forward these to a
+/// recorder if they collect telemetry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Normal transition steps taken (observed and inferred alike).
+    pub steps: u64,
+    /// Intra-node jump transitions taken (plans with an inferred prefix,
+    /// i.e. more than one step).
+    pub jumps: u64,
+    /// Steps taken while forcing a peer toward an inter-node prerequisite
+    /// (a subset of `steps`).
+    pub forced_steps: u64,
 }
 
 impl<L: Label, E: Clone> Default for ConnectedNet<L, E> {
@@ -278,12 +295,14 @@ impl<L: Label, E: Clone> ConnectedNet<L, E> {
             warnings: Vec::new(),
             forcing: Vec::new(),
             group_last_entry: vec![None; group_count],
+            stats: RunStats::default(),
         };
         runner.drive();
         RunOutput {
             flow: runner.flow,
             omitted: runner.omitted,
             warnings: runner.warnings,
+            stats: runner.stats,
         }
     }
 }
@@ -307,6 +326,7 @@ struct Runner<'n, L: Label, E: Clone> {
     forcing: Vec<EngineId>,
     /// Last flow entry per group, for the per-node-order dependency edges.
     group_last_entry: Vec<Option<usize>>,
+    stats: RunStats,
 }
 
 impl<'n, L: Label, E: Clone> Runner<'n, L, E> {
@@ -388,6 +408,9 @@ impl<'n, L: Label, E: Clone> Runner<'n, L, E> {
         // so synthesizing never has to clone a `Transition`.
         let tpl = Arc::clone(&self.net.templates[self.net.engines[e.idx()].template]);
         let steps = plan.steps();
+        if steps.len() > 1 {
+            self.stats.jumps += 1;
+        }
         let last_idx = steps.len() - 1;
         for (i, &tid) in steps.iter().enumerate() {
             let payload = if i == last_idx { observed.take() } else { None };
@@ -401,6 +424,10 @@ impl<'n, L: Label, E: Clone> Runner<'n, L, E> {
     /// Take one normal transition on `e`: satisfy its inter-node rules, move
     /// the state, append the flow entry.
     fn advance(&mut self, e: EngineId, tid: TransId, payload: E, observed: bool) {
+        self.stats.steps += 1;
+        if !self.forcing.is_empty() {
+            self.stats.forced_steps += 1;
+        }
         let (label, to) = {
             let t = self.template_of(e).transition(tid);
             (t.label.clone(), t.to)

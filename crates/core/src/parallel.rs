@@ -21,12 +21,24 @@
 use crate::diagnose::{Diagnoser, Diagnosis};
 use crate::sigcache::SigCache;
 use crate::trace::{PacketReport, Reconstructor};
-use eventlog::{MergedLog, PacketId, SimTime};
+use eventlog::{MergedLog, PacketId, PacketIndex, SimTime};
 use rayon::prelude::*;
+use refill_telemetry::{Hist, Recorder};
+use std::time::{Duration, Instant};
+
+/// Clamp a duration to nanosecond counter range.
+fn dur_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Reconstruct all packets with Rayon's parallel iterator.
+///
+/// Per-worker telemetry (packet throughput, queue wait) is only collected
+/// by the crossbeam drivers, whose workers have clear boundaries; rayon's
+/// work-stealing splits are invisible from here, so under rayon the
+/// per-packet counters and stage timings carry the telemetry instead.
 pub fn reconstruct_rayon(recon: &Reconstructor, merged: &MergedLog) -> Vec<PacketReport> {
-    let index = merged.packet_index();
+    let index = merged.packet_index_recorded(&**recon.recorder());
     (0..index.len())
         .into_par_iter()
         .map(|i| {
@@ -45,7 +57,18 @@ pub fn reconstruct_rayon_cached(
     merged: &MergedLog,
     cache: &SigCache,
 ) -> Vec<PacketReport> {
-    let index = merged.packet_index();
+    let index = merged.packet_index_recorded(&**recon.recorder());
+    reconstruct_index_rayon_cached(recon, &index, cache)
+}
+
+/// [`reconstruct_rayon_cached`] over an already-built [`PacketIndex`] —
+/// for callers that need the index for their own lookups too (the CLI's
+/// `trace --stats` builds it once and shares it with this driver).
+pub fn reconstruct_index_rayon_cached(
+    recon: &Reconstructor,
+    index: &PacketIndex,
+    cache: &SigCache,
+) -> Vec<PacketReport> {
     (0..index.len())
         .into_par_iter()
         .map(|i| {
@@ -66,7 +89,7 @@ pub fn reconstruct_crossbeam(
     merged: &MergedLog,
     workers: usize,
 ) -> Vec<PacketReport> {
-    let index = merged.packet_index();
+    let index = merged.packet_index_recorded(&**recon.recorder());
     let n = index.len();
     if n == 0 {
         return Vec::new();
@@ -75,16 +98,22 @@ pub fn reconstruct_crossbeam(
     let chunk = n.div_ceil(workers);
     let mut slots: Vec<Option<PacketReport>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
+    // Spawn-to-first-packet delay per worker; clock reads only when a
+    // recorder is collecting.
+    let t_spawn = recon.recorder().enabled().then(Instant::now);
 
     crossbeam::thread::scope(|scope| {
         for (w, out) in slots.chunks_mut(chunk).enumerate() {
             let index = &index;
             scope.spawn(move |_| {
+                let waited = t_spawn.map(|t0| t0.elapsed());
+                let t_busy = waited.map(|_| Instant::now());
                 let start = w * chunk;
                 for (j, slot) in out.iter_mut().enumerate() {
                     let (id, events) = index.group(start + j);
                     *slot = Some(recon.reconstruct_packet(id, events));
                 }
+                record_worker(recon, waited, t_busy, out.len());
             });
         }
     })
@@ -96,6 +125,23 @@ pub fn reconstruct_crossbeam(
         .collect()
 }
 
+/// Record one crossbeam worker's queue wait, busy time, and packet count
+/// (a no-op when no recorder is attached: the timestamps are `None`).
+fn record_worker(
+    recon: &Reconstructor,
+    waited: Option<Duration>,
+    t_busy: Option<Instant>,
+    packets: usize,
+) {
+    let (Some(waited), Some(t_busy)) = (waited, t_busy) else {
+        return;
+    };
+    let rec = &**recon.recorder();
+    rec.observe(Hist::QueueWaitNs, dur_ns(waited));
+    rec.observe(Hist::WorkerBusyNs, dur_ns(t_busy.elapsed()));
+    rec.observe(Hist::WorkerPackets, packets as u64);
+}
+
 /// [`reconstruct_crossbeam`] through a shared signature cache (same
 /// disjoint-chunk structure; the cache is the only shared mutable state and
 /// carries its own per-shard locks).
@@ -105,7 +151,7 @@ pub fn reconstruct_crossbeam_cached(
     workers: usize,
     cache: &SigCache,
 ) -> Vec<PacketReport> {
-    let index = merged.packet_index();
+    let index = merged.packet_index_recorded(&**recon.recorder());
     let n = index.len();
     if n == 0 {
         return Vec::new();
@@ -114,16 +160,20 @@ pub fn reconstruct_crossbeam_cached(
     let chunk = n.div_ceil(workers);
     let mut slots: Vec<Option<PacketReport>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
+    let t_spawn = recon.recorder().enabled().then(Instant::now);
 
     crossbeam::thread::scope(|scope| {
         for (w, out) in slots.chunks_mut(chunk).enumerate() {
             let index = &index;
             scope.spawn(move |_| {
+                let waited = t_spawn.map(|t0| t0.elapsed());
+                let t_busy = waited.map(|_| Instant::now());
                 let start = w * chunk;
                 for (j, slot) in out.iter_mut().enumerate() {
                     let (id, events) = index.group(start + j);
                     *slot = Some(recon.reconstruct_packet_cached(id, events, cache));
                 }
+                record_worker(recon, waited, t_busy, out.len());
             });
         }
     })
@@ -142,7 +192,7 @@ pub fn reconstruct_and_diagnose(
     merged: &MergedLog,
     est_time: impl Fn(PacketId) -> Option<SimTime> + Sync,
 ) -> Vec<(PacketReport, Diagnosis)> {
-    let index = merged.packet_index();
+    let index = merged.packet_index_recorded(&**recon.recorder());
     (0..index.len())
         .into_par_iter()
         .map(|i| {

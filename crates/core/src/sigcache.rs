@@ -13,16 +13,21 @@
 //! first pass, repeating happy-path shapes survive. This keeps a CitySee
 //! 30-day run memory-flat no matter how many rare shapes drift through.
 //!
-//! Hit/miss/insert/eviction counters are kept per shard as relaxed
-//! atomics (they feed stats, not control flow) and summed on demand by
-//! [`SigCache::stats`].
+//! Hit/miss/insert/eviction accounting lives on a [`Recorder`] rather than
+//! bespoke per-shard atomics: by default each cache owns a private
+//! [`AtomicRecorder`] (so [`SigCache::stats`] works exactly as before),
+//! and [`SigCache::with_recorder`] points the cache at a pipeline-wide
+//! recorder so its counters land in the same [`TelemetrySnapshot`] as
+//! every other stage. Counters are still bumped outside the shard lock.
+//!
+//! [`TelemetrySnapshot`]: refill_telemetry::TelemetrySnapshot
 
 use crate::trace::{FlowSignature, ReportTemplate};
 use parking_lot::Mutex;
+use refill_telemetry::{AtomicRecorder, Counter, Recorder};
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Default total template capacity. Templates are small (a few hundred
@@ -39,15 +44,15 @@ pub struct SigCache {
     shards: Vec<Shard>,
     shard_bits: u32,
     per_shard_cap: usize,
+    /// Where hit/miss/insert/eviction counters go. Private by default so
+    /// per-cache stats keep working; shared when the cache participates in
+    /// pipeline-wide telemetry.
+    recorder: Arc<dyn Recorder>,
 }
 
 #[derive(Default)]
 struct Shard {
     inner: Mutex<ShardMap>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    inserts: AtomicU64,
-    evictions: AtomicU64,
 }
 
 #[derive(Default)]
@@ -65,6 +70,10 @@ struct CacheEntry {
 }
 
 /// A point-in-time summary of the cache counters.
+///
+/// Since the counters migrated onto the telemetry [`Recorder`], this is a
+/// snapshot adapter over [`SigCache::stats`] rather than the storage
+/// itself — existing callers and tests see the same numbers as before.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
     /// Lookups that found a template.
@@ -119,7 +128,26 @@ impl SigCache {
             shards: (0..shards).map(|_| Shard::default()).collect(),
             shard_bits: shards.trailing_zeros(),
             per_shard_cap: capacity.div_ceil(shards).max(1),
+            recorder: Arc::new(AtomicRecorder::new()),
         }
+    }
+
+    /// Send this cache's counters to a shared recorder instead of the
+    /// private per-cache one, so cache activity appears in the same
+    /// telemetry snapshot as the rest of the pipeline.
+    ///
+    /// Note that [`SigCache::stats`] reads whatever recorder is attached:
+    /// with a shared recorder it reflects every cache-counter increment on
+    /// that recorder; with a [`refill_telemetry::NoopRecorder`] it reads
+    /// all-zero.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The recorder cache counters are sent to.
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
     }
 
     fn shard(&self, sig: FlowSignature) -> &Shard {
@@ -143,11 +171,11 @@ impl SigCache {
         };
         match found {
             Some(template) => {
-                shard.hits.fetch_add(1, Ordering::Relaxed);
+                self.recorder.inc(Counter::CacheHits);
                 Some(template)
             }
             None => {
-                shard.misses.fetch_add(1, Ordering::Relaxed);
+                self.recorder.inc(Counter::CacheMisses);
                 None
             }
         }
@@ -191,23 +219,22 @@ impl SigCache {
                 },
             );
         }
-        shard.inserts.fetch_add(1, Ordering::Relaxed);
+        self.recorder.inc(Counter::CacheInserts);
         if evicted > 0 {
-            shard.evictions.fetch_add(evicted, Ordering::Relaxed);
+            self.recorder.add(Counter::CacheEvictions, evicted);
         }
     }
 
-    /// Sum the per-shard counters.
+    /// Counter totals as seen by the attached recorder, plus the current
+    /// resident count.
     pub fn stats(&self) -> CacheStats {
-        let mut stats = CacheStats::default();
-        for shard in &self.shards {
-            stats.hits += shard.hits.load(Ordering::Relaxed);
-            stats.misses += shard.misses.load(Ordering::Relaxed);
-            stats.inserts += shard.inserts.load(Ordering::Relaxed);
-            stats.evictions += shard.evictions.load(Ordering::Relaxed);
-            stats.entries += shard.inner.lock().map.len();
+        CacheStats {
+            hits: self.recorder.counter_value(Counter::CacheHits),
+            misses: self.recorder.counter_value(Counter::CacheMisses),
+            inserts: self.recorder.counter_value(Counter::CacheInserts),
+            evictions: self.recorder.counter_value(Counter::CacheEvictions),
+            entries: self.len(),
         }
-        stats
     }
 
     /// Templates currently resident.
@@ -248,6 +275,7 @@ mod tests {
     use crate::trace::PacketReport;
     use eventlog::PacketId;
     use netsim::NodeId;
+    use refill_telemetry::NoopRecorder;
 
     fn sig(hi: u64, lo: u64) -> FlowSignature {
         FlowSignature { hi, lo }
@@ -367,5 +395,34 @@ mod tests {
         assert!(stats.inserts >= 64, "every signature is published at least once");
         assert!(stats.entries <= cache.capacity());
         assert!(stats.inserts >= stats.entries as u64);
+    }
+
+    #[test]
+    fn shared_recorder_receives_cache_counters() {
+        let rec = Arc::new(AtomicRecorder::new());
+        let cache = SigCache::new(64).with_recorder(rec.clone());
+        let s = sig(7, 8);
+        assert!(cache.get(s).is_none());
+        cache.insert(s, template());
+        assert!(cache.get(s).is_some());
+        assert_eq!(rec.counter_value(Counter::CacheHits), 1);
+        assert_eq!(rec.counter_value(Counter::CacheMisses), 1);
+        assert_eq!(rec.counter_value(Counter::CacheInserts), 1);
+        // The stats adapter reads the very same recorder.
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn noop_recorder_disables_stats() {
+        let cache = SigCache::new(64).with_recorder(Arc::new(NoopRecorder));
+        let s = sig(9, 10);
+        assert!(cache.get(s).is_none());
+        cache.insert(s, template());
+        assert!(cache.get(s).is_some(), "caching itself still works");
+        let stats = cache.stats();
+        assert_eq!(stats.lookups(), 0, "noop recorder stores no counters");
+        assert_eq!(stats.entries, 1, "resident count is read from the shards");
     }
 }

@@ -32,6 +32,7 @@ use crate::sigcache::SigCache;
 use eventlog::event::BASE_STATION;
 use eventlog::{Event, EventKind, MergedLog, PacketId};
 use netsim::NodeId;
+use refill_telemetry::{Counter, Hist, NoopRecorder, Recorder, Stage, StageTimer};
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -146,6 +147,9 @@ pub struct Reconstructor {
     model: CtpModel,
     sink: Option<NodeId>,
     options: ReconOptions,
+    /// Telemetry sink; [`NoopRecorder`] by default, so the hot path pays
+    /// nothing unless a recorder is attached.
+    recorder: Arc<dyn Recorder>,
 }
 
 impl Reconstructor {
@@ -156,7 +160,21 @@ impl Reconstructor {
             model: CtpModel::new(vocabulary),
             sink: None,
             options: ReconOptions::default(),
+            recorder: Arc::new(NoopRecorder),
         }
+    }
+
+    /// Attach a telemetry recorder; every reconstruction through this
+    /// instance reports counters, histograms, and stage timings into it.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The attached telemetry recorder (the no-op one unless
+    /// [`Reconstructor::with_recorder`] was called).
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
     }
 
     /// Apply ablation options (see [`ReconOptions`]).
@@ -185,7 +203,7 @@ impl Reconstructor {
     /// Reconstruct every packet mentioned in a merged log, sorted by packet
     /// id (deterministic).
     pub fn reconstruct_log(&self, merged: &MergedLog) -> Vec<PacketReport> {
-        let index = merged.packet_index();
+        let index = merged.packet_index_recorded(&*self.recorder);
         index
             .iter()
             .map(|(id, events)| self.reconstruct_packet(id, events))
@@ -196,7 +214,23 @@ impl Reconstructor {
     /// subsequences must be in recording order).
     pub fn reconstruct_packet(&self, packet: PacketId, events: &[Event]) -> PacketReport {
         let sink = self.effective_sink(events);
-        self.reconstruct_with_sink(packet, events, sink)
+        let report = self.reconstruct_with_sink(packet, events, sink);
+        self.record_report(&report);
+        report
+    }
+
+    /// Account an emitted report: exactly one call per report handed back
+    /// to a caller, whatever path produced it.
+    fn record_report(&self, report: &PacketReport) {
+        let rec = &*self.recorder;
+        if !rec.enabled() {
+            return;
+        }
+        rec.inc(Counter::PacketsReconstructed);
+        rec.add(Counter::EventsObserved, report.flow.observed_count() as u64);
+        rec.add(Counter::EventsInferred, report.flow.inferred_count() as u64);
+        rec.add(Counter::EventsOmitted, report.omitted.len() as u64);
+        rec.observe(Hist::FlowEntries, report.flow.len() as u64);
     }
 
     /// The sink the pipeline will use for this event group: the pinned one,
@@ -221,6 +255,7 @@ impl Reconstructor {
         events: &[Event],
         sink: Option<NodeId>,
     ) -> PacketReport {
+        let _span = StageTimer::start(&*self.recorder, Stage::Transition);
         let (mut visits, assignments) = self.segment(packet, events, sink);
         self.link(packet, &mut visits, sink);
         let order = chain_order(&visits);
@@ -246,17 +281,42 @@ impl Reconstructor {
         events: &[Event],
         cache: &SigCache,
     ) -> PacketReport {
+        let rec = &*self.recorder;
         let sink = self.effective_sink(events);
-        let Some(canon) = canonicalize(packet, events, sink) else {
-            return self.reconstruct_with_sink(packet, events, sink);
+        let canon = {
+            let _span = StageTimer::start(rec, Stage::Signature);
+            canonicalize(packet, events, sink)
         };
-        if let Some(template) = cache.get(canon.sig) {
-            return template.rehydrate(packet, &canon.nodes);
+        let Some(canon) = canon else {
+            rec.inc(Counter::PacketsUncacheable);
+            let report = self.reconstruct_with_sink(packet, events, sink);
+            self.record_report(&report);
+            return report;
+        };
+        let hit = {
+            let _span = StageTimer::start(rec, Stage::Cache);
+            cache.get(canon.sig)
+        };
+        if let Some(template) = hit {
+            let report = {
+                let _span = StageTimer::start(rec, Stage::Rehydrate);
+                template.rehydrate(packet, &canon.nodes)
+            };
+            rec.inc(Counter::PacketsRehydrated);
+            self.record_report(&report);
+            return report;
         }
         let report = self.reconstruct_with_sink(canon.packet, &canon.events, canon.sink);
         let template = Arc::new(ReportTemplate::new(report));
-        let out = template.rehydrate(packet, &canon.nodes);
-        cache.insert(canon.sig, template);
+        let out = {
+            let _span = StageTimer::start(rec, Stage::Rehydrate);
+            template.rehydrate(packet, &canon.nodes)
+        };
+        {
+            let _span = StageTimer::start(rec, Stage::Cache);
+            cache.insert(canon.sig, template);
+        }
+        self.record_report(&out);
         out
     }
 
@@ -266,7 +326,7 @@ impl Reconstructor {
         merged: &MergedLog,
         cache: &SigCache,
     ) -> Vec<PacketReport> {
-        let index = merged.packet_index();
+        let index = merged.packet_index_recorded(&*self.recorder);
         index
             .iter()
             .map(|(id, events)| self.reconstruct_packet_cached(id, events, cache))
@@ -636,6 +696,11 @@ impl Reconstructor {
                 ctp_model::synthesize_event(node, prev, next, packet, trans)
             },
         );
+        if self.recorder.enabled() {
+            self.recorder.add(Counter::FsmSteps, out.stats.steps);
+            self.recorder.add(Counter::FsmJumps, out.stats.jumps);
+            self.recorder.add(Counter::FsmForcedSteps, out.stats.forced_steps);
+        }
 
         // Engine infos in engine-id order.
         let mut engines: Vec<EngineInfo> = Vec::with_capacity(order.len());

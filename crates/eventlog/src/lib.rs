@@ -25,6 +25,6 @@ pub use collect::{CollectionConfig, LossyCollector};
 pub use event::{Event, EventKind, PacketId, SeqNo};
 pub use fate::{GroundTruth, LossCause, PacketFate, TruthEvent};
 pub use logger::{LocalLog, LogEntry, LoggerConfig, NodeLogger};
-pub use merge::{merge_logs, MergedLog, PacketIndex};
+pub use merge::{merge_logs, merge_logs_recorded, MergedLog, PacketIndex};
 
 pub use netsim::{NodeId, SimTime};

@@ -10,6 +10,7 @@
 use crate::event::{Event, PacketId};
 use crate::logger::LocalLog;
 use netsim::NodeId;
+use refill_telemetry::{Counter, Hist, NoopRecorder, Recorder, Stage, StageTimer};
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 
@@ -41,7 +42,24 @@ impl MergedLog {
     /// per-packet `&[Event]` slices in sorted-id order with no further
     /// copying. This is the grouping the reconstruction drivers use.
     pub fn packet_index(&self) -> PacketIndex {
-        PacketIndex::build(&self.events)
+        self.packet_index_recorded(&NoopRecorder)
+    }
+
+    /// [`MergedLog::packet_index`] with telemetry: the build is timed as
+    /// the `index` stage, and the per-packet group sizes feed the
+    /// `group_events` histogram.
+    pub fn packet_index_recorded(&self, recorder: &dyn Recorder) -> PacketIndex {
+        let index = {
+            let _span = StageTimer::start(recorder, Stage::Index);
+            PacketIndex::build(&self.events)
+        };
+        if recorder.enabled() {
+            recorder.add(Counter::IndexedPackets, index.len() as u64);
+            for (_, events) in index.iter() {
+                recorder.observe(Hist::GroupEvents, events.len() as u64);
+            }
+        }
+        index
     }
 
     /// All packet ids mentioned anywhere in the merged log, sorted and
@@ -157,15 +175,35 @@ impl PacketIndex {
 /// without timestamps fall back to a round-robin interleave. Either way each
 /// node's own order is preserved exactly.
 pub fn merge_logs(logs: &[LocalLog]) -> MergedLog {
+    merge_logs_recorded(logs, &NoopRecorder)
+}
+
+/// [`merge_logs`] with telemetry: the whole merge is timed as the `merge`
+/// stage, per-log sizes feed the `node_log_events` histogram, and the
+/// clock-alignment decision (timestamp k-way merge vs. round-robin
+/// fallback) is counted so a profile shows which ordering the run used.
+pub fn merge_logs_recorded(logs: &[LocalLog], recorder: &dyn Recorder) -> MergedLog {
+    let _span = StageTimer::start(recorder, Stage::Merge);
     let all_timestamped = logs
         .iter()
         .flat_map(|l| l.entries.iter())
         .all(|e| e.local_ts.is_some());
+    if recorder.enabled() {
+        for log in logs {
+            recorder.observe(Hist::NodeLogEvents, log.len() as u64);
+        }
+        recorder.inc(if all_timestamped {
+            Counter::MergeTimestamped
+        } else {
+            Counter::MergeRoundRobin
+        });
+    }
     let events = if all_timestamped {
         merge_by_timestamp(logs)
     } else {
         merge_round_robin(logs)
     };
+    recorder.add(Counter::MergeEvents, events.len() as u64);
     MergedLog { events }
 }
 
