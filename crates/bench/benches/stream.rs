@@ -1,0 +1,78 @@
+//! Streaming-path benchmarks: frame decode throughput and a cold replay of
+//! one CitySee day through the online reconstruction pipeline, against the
+//! batch pipeline over the same logs as the reference cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use citysee::{run_scenario, Scenario};
+use eventlog::frame::decode_all;
+use eventlog::merge_logs;
+use eventlog::watermark::Lateness;
+use refill::trace::{CtpVocabulary, Reconstructor};
+use refill_stream::{run_stream, DriverConfig, Replay, StreamConfig, StreamReconstructor};
+use std::io::Cursor;
+
+/// One CitySee-like day at the small evaluation scale.
+fn day() -> Scenario {
+    Scenario {
+        name: "citysee-day-small".into(),
+        days: 1,
+        ..Scenario::small()
+    }
+}
+
+fn recon_for(campaign: &citysee::Campaign) -> Reconstructor {
+    Reconstructor::new(CtpVocabulary::citysee()).with_sink(campaign.topology.sink())
+}
+
+fn bench_stream_replay(c: &mut Criterion) {
+    let campaign = run_scenario(&day());
+    let replay = Replay::from_campaign(&campaign, f64::INFINITY);
+    let bytes = replay.encode();
+    let records = replay.records().len() as u64;
+
+    let mut group = c.benchmark_group("stream_replay");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(records));
+    group.sample_size(10);
+
+    // The codec alone: how fast framed bytes turn back into records.
+    group.bench_function("decode_day", |b| {
+        b.iter(|| black_box(decode_all(&bytes)))
+    });
+
+    // Cold end-to-end: ingest worker + windowed reconstruction from a
+    // fresh state, the way a restarted collection service replays a day.
+    group.bench_function("cold_replay_day", |b| {
+        b.iter(|| {
+            let mut stream = StreamReconstructor::with_config(
+                recon_for(&campaign),
+                StreamConfig {
+                    lane_capacity: 256,
+                    lateness: Lateness::default(),
+                },
+            );
+            let summary = run_stream(
+                Cursor::new(&bytes),
+                &mut stream,
+                DriverConfig::default(),
+                |_| {},
+            )
+            .expect("in-memory replay does not fail");
+            black_box(summary.reports.len())
+        })
+    });
+
+    // The batch reference over the same logs: what the streaming overhead
+    // is measured against.
+    group.bench_function("batch_reference_day", |b| {
+        b.iter(|| {
+            let recon = recon_for(&campaign);
+            black_box(recon.reconstruct_log(&merge_logs(&campaign.collected)).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stream_replay);
+criterion_main!(benches);

@@ -3,6 +3,7 @@
 use crate::scenario::Scenario;
 use eventlog::collect::LossyCollector;
 use eventlog::event::BASE_STATION;
+use eventlog::frame::NodeRecord;
 use eventlog::logger::LocalLog;
 use eventlog::merge::{merge_logs, MergedLog};
 use netsim::{RngFactory, Topology};
@@ -23,6 +24,38 @@ pub struct Campaign {
     pub collected: Vec<LocalLog>,
     /// The merged event stream fed to REFILL.
     pub merged: MergedLog,
+}
+
+impl Campaign {
+    /// The collected logs as one upload-arrival-ordered record stream —
+    /// what the base station's serial port would see if every node
+    /// uploaded its log live. See [`upload_order`].
+    pub fn upload_records(&self) -> Vec<NodeRecord> {
+        upload_order(&self.collected)
+    }
+}
+
+/// Interleave per-node logs into a plausible upload arrival order.
+///
+/// Each record's arrival key is its node's *running-max* local timestamp
+/// (monotone per node even when individual readings regress, and zero for
+/// untimestamped prefixes), and the sort is stable — so every node's own
+/// recording order is preserved exactly, which is the only ordering
+/// guarantee the reconstruction contract needs. Cross-node interleaving
+/// follows the nodes' skewed clocks, which is realistic, not meaningful.
+pub fn upload_order(logs: &[LocalLog]) -> Vec<NodeRecord> {
+    let mut keyed: Vec<(u64, NodeRecord)> = Vec::new();
+    for log in logs {
+        let mut running = 0u64;
+        for entry in &log.entries {
+            if let Some(ts) = entry.local_ts {
+                running = running.max(ts);
+            }
+            keyed.push((running, NodeRecord::new(log.node, *entry)));
+        }
+    }
+    keyed.sort_by_key(|(at, _)| *at);
+    keyed.into_iter().map(|(_, rec)| rec).collect()
 }
 
 /// Run a scenario end to end.
@@ -135,6 +168,40 @@ mod tests {
             .filter(|e| matches!(e.kind, EventKind::BsRecv))
             .count();
         assert_eq!(bs_events as u64, c.sim.counters.get("delivered"));
+    }
+
+    #[test]
+    fn upload_records_preserve_per_node_order() {
+        let c = campaign();
+        let records = c.upload_records();
+        assert_eq!(
+            records.len(),
+            c.collected.iter().map(|l| l.len()).sum::<usize>(),
+            "every collected entry appears exactly once"
+        );
+        for log in &c.collected {
+            let lane: Vec<_> = records
+                .iter()
+                .filter(|r| r.node == log.node)
+                .map(|r| r.entry)
+                .collect();
+            assert_eq!(lane, log.entries, "node {} order mangled", log.node);
+        }
+    }
+
+    #[test]
+    fn upload_records_interleave_nodes() {
+        // The whole point: the stream is NOT one log after another.
+        let c = campaign();
+        let records = c.upload_records();
+        let switches = records
+            .windows(2)
+            .filter(|w| w[0].node != w[1].node)
+            .count();
+        assert!(
+            switches + 1 > c.collected.len(),
+            "expected genuine interleaving, got {switches} lane switches"
+        );
     }
 
     #[test]

@@ -26,8 +26,15 @@ USAGE:
   refill trace    --logs DIR_OR_FILE --packet ORIGIN:SEQNO [--sink N] [--dot] [--stats] [--telemetry FILE]
   refill profile  [--logs DIR_OR_FILE] [--sink N] [--seed N] [--telemetry FILE]
   refill report   [--scale small|standard|paper] [--seed N]
+  refill stream   [--frames FILE|-] [--sink N] [--lane-capacity N]
+                  [--late-records N] [--late-us N] [--quiet] [--telemetry FILE]
   refill help
 
+  stream reconstructs online: framed records (eventlog::frame wire format)
+  are decoded from --frames (- for stdin), windows close per-node as
+  watermarks pass (--late-records / --late-us lateness), rolling reports
+  print as they close, and the converged summary follows. With no --frames
+  it simulates one CitySee-like day and replays its upload stream.
   --stats prints reconstruction throughput, signature-cache hit rate, and
   the unique-flow-shape count after the run.
   --telemetry FILE writes the full pipeline telemetry snapshot (counters,
@@ -502,6 +509,102 @@ pub fn profile(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `refill stream`: online reconstruction over framed records.
+pub fn stream(args: &[String]) -> Result<(), String> {
+    print!("{}", stream_cmd_inner(args)?);
+    Ok(())
+}
+
+/// `refill stream`, returning the printed output (testable).
+pub fn stream_cmd_inner(args: &[String]) -> Result<String, String> {
+    use refill_stream::{run_stream, DriverConfig, Replay, StreamConfig, StreamReconstructor};
+
+    let flags = Flags::parse(args, &["quiet"])?;
+    let (recon, _) = build_reconstructor(&flags)?;
+    let recorder = recorder_for(&flags);
+    let recon = attach_recorder(recon, &recorder);
+
+    let mut config = StreamConfig::default();
+    if let Some(v) = flags.get("lane-capacity") {
+        config.lane_capacity = v.parse().map_err(|_| "bad lane capacity")?;
+    }
+    if let Some(v) = flags.get("late-records") {
+        config.lateness.records = v.parse().map_err(|_| "bad lateness record quota")?;
+    }
+    if let Some(v) = flags.get("late-us") {
+        config.lateness.micros = v.parse().map_err(|_| "bad lateness microseconds")?;
+    }
+    let mut stream = StreamReconstructor::with_config(recon, config);
+
+    let quiet = flags.has("quiet");
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let emit = |out: &mut String, r: &refill::PacketReport| {
+        if !quiet {
+            let _ = writeln!(out, "packet {} | {}", r.packet, r.flow);
+        }
+    };
+
+    let summary = match flags.get("frames") {
+        Some("-") => run_stream(
+            std::io::stdin(),
+            &mut stream,
+            DriverConfig::default(),
+            |r| emit(&mut out, r),
+        ),
+        Some(path) => {
+            let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            run_stream(BufReader::new(f), &mut stream, DriverConfig::default(), |r| {
+                emit(&mut out, r)
+            })
+        }
+        None => {
+            // No input: simulate one CitySee-like day and replay its
+            // upload stream through the same framed path.
+            let mut scenario = Scenario {
+                days: 1,
+                ..Scenario::small()
+            };
+            if let Some(seed) = flags.get("seed") {
+                scenario.seed = seed.parse().map_err(|_| "bad seed")?;
+            }
+            eprintln!(
+                "no --frames given; simulating one CitySee-like day ({} nodes, seed {})…",
+                scenario.nodes, scenario.seed
+            );
+            let campaign = run_scenario(&scenario);
+            let bytes = Replay::from_campaign(&campaign, f64::INFINITY).encode();
+            run_stream(
+                std::io::Cursor::new(bytes),
+                &mut stream,
+                DriverConfig::default(),
+                |r| emit(&mut out, r),
+            )
+        }
+    }
+    .map_err(|e| e.to_string())?;
+
+    let stats = summary.stats;
+    let _ = writeln!(
+        out,
+        "\nframes: {} decoded, {} corrupt runs skipped",
+        summary.frames.decoded, summary.frames.corrupt
+    );
+    let _ = writeln!(
+        out,
+        "records: {} | windows closed: {} | late reopens: {} | backpressure stalls: {}",
+        stats.records, stats.windows_closed, stats.windows_reopened, stats.backpressure
+    );
+    let _ = writeln!(
+        out,
+        "packets: {} converged ({} reports emitted mid-stream)",
+        summary.reports.len(),
+        summary.rolling_reports
+    );
+    write_telemetry(&flags, &recorder)?;
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -532,6 +635,54 @@ mod tests {
         assert_eq!(p.seqno, 4);
         assert!(parse_packet("17").is_err());
         assert!(parse_packet("a:b").is_err());
+    }
+
+    #[test]
+    fn stream_reads_frames_from_file() {
+        use eventlog::frame::{encode_records, NodeRecord};
+        use eventlog::logger::LogEntry;
+        use eventlog::{Event, EventKind};
+        let p = PacketId::new(NodeId(1), 0);
+        let recs = vec![
+            NodeRecord::new(
+                NodeId(1),
+                LogEntry {
+                    event: Event::new(NodeId(1), EventKind::Trans { to: NodeId(2) }, p),
+                    local_ts: None,
+                },
+            ),
+            NodeRecord::new(
+                NodeId(2),
+                LogEntry {
+                    event: Event::new(NodeId(2), EventKind::Recv { from: NodeId(1) }, p),
+                    local_ts: None,
+                },
+            ),
+        ];
+        let dir = std::env::temp_dir().join("refill-stream-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let frames = dir.join("frames.bin");
+        std::fs::write(&frames, encode_records(recs.iter())).unwrap();
+        let tele = dir.join("stream-telemetry.json");
+        let out = stream_cmd_inner(&args(&[
+            "--frames",
+            frames.to_str().unwrap(),
+            "--telemetry",
+            tele.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("frames: 2 decoded, 0 corrupt"), "got: {out}");
+        assert!(out.contains("packets: 1 converged"), "got: {out}");
+        let parsed: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&tele).unwrap()).unwrap();
+        assert!(parsed.get("counters").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_rejects_bad_flags() {
+        assert!(stream_cmd_inner(&args(&["--late-records", "banana"])).is_err());
+        assert!(stream_cmd_inner(&args(&["--frames", "/definitely/not/here"])).is_err());
     }
 
     #[test]

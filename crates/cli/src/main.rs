@@ -17,6 +17,11 @@
 //!     Run the pipeline single-threaded with telemetry attached and print
 //!     the per-stage time/counter breakdown (simulates one CitySee-like
 //!     day when no archive is given).
+//!
+//! refill stream [--frames FILE|-] [--telemetry FILE]
+//!     Online reconstruction: decode framed records from a file or stdin
+//!     (or a simulated CitySee-like day when no input is given), print
+//!     rolling packet reports as windows close, then the converged summary.
 //! ```
 //!
 //! The archive format is the `eventlog::archive` JSON-lines format, so logs
@@ -41,6 +46,7 @@ fn main() -> ExitCode {
         "trace" => cmd::trace(&rest),
         "profile" => cmd::profile(&rest),
         "report" => cmd::report(&rest),
+        "stream" => cmd::stream(&rest),
         "help" | "--help" | "-h" => {
             println!("{}", cmd::USAGE);
             Ok(())

@@ -19,6 +19,7 @@ use eventlog::{Event, PacketId};
 use rayon::prelude::*;
 use refill_telemetry::{Counter, Recorder};
 use rustc_hash::{FxHashMap, FxHashSet};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Accumulates logs and keeps per-packet reports up to date.
@@ -28,7 +29,9 @@ pub struct IncrementalReconstructor {
     /// recording order by the ingestion contract).
     events: FxHashMap<PacketId, Vec<Event>>,
     dirty: FxHashSet<PacketId>,
-    reports: FxHashMap<PacketId, PacketReport>,
+    /// Ordered by packet id so report iteration is deterministic without a
+    /// per-call sort (streaming consumers iterate this after every window).
+    reports: BTreeMap<PacketId, PacketReport>,
     /// Flow-shape templates shared across refreshes: steady-state batches
     /// keep producing the same happy-path shapes, so later refreshes run
     /// mostly on cache hits.
@@ -48,7 +51,7 @@ impl IncrementalReconstructor {
             recon,
             events: FxHashMap::default(),
             dirty: FxHashSet::default(),
-            reports: FxHashMap::default(),
+            reports: BTreeMap::new(),
             cache,
             reconstructed_len: FxHashMap::default(),
         }
@@ -118,7 +121,30 @@ impl IncrementalReconstructor {
     /// re-ingested duplicate batch mentioning them) are skipped without
     /// reconstruction.
     pub fn refresh(&mut self) -> Vec<PacketId> {
-        let mut ids: Vec<PacketId> = self.dirty.drain().collect();
+        let ids: Vec<PacketId> = self.dirty.drain().collect();
+        self.refresh_ids(ids)
+    }
+
+    /// Like [`IncrementalReconstructor::refresh`], but limited to the given
+    /// packets: only those that are actually dirty are recomputed, and every
+    /// other dirty packet stays pending. Streaming windowing uses this to
+    /// reconstruct just-closed windows without paying for packets whose
+    /// windows are still open. Duplicate ids are processed once.
+    pub fn refresh_packets(
+        &mut self,
+        ids: impl IntoIterator<Item = PacketId>,
+    ) -> Vec<PacketId> {
+        let ids: Vec<PacketId> = ids
+            .into_iter()
+            .filter(|id| self.dirty.remove(id))
+            .collect();
+        self.refresh_ids(ids)
+    }
+
+    /// Shared refresh body: `ids` have already been removed from the dirty
+    /// set; filter out the ones whose event sets did not change, then
+    /// reconstruct the rest in parallel.
+    fn refresh_ids(&mut self, mut ids: Vec<PacketId>) -> Vec<PacketId> {
         let drained = ids.len();
         ids.retain(|id| {
             let len = self.events.get(id).map_or(0, Vec::len);
@@ -147,11 +173,11 @@ impl IncrementalReconstructor {
         self.reports.get(&id)
     }
 
-    /// All current reports, sorted by packet id.
+    /// All current reports, in packet-id order. The order is a property of
+    /// the storage (a `BTreeMap` keyed by packet id), not a per-call sort,
+    /// so it is deterministic across runs and ingestion orders.
     pub fn reports(&self) -> Vec<&PacketReport> {
-        let mut v: Vec<&PacketReport> = self.reports.values().collect();
-        v.sort_unstable_by_key(|r| r.packet);
-        v
+        self.reports.values().collect()
     }
 
     /// Number of packets with reports.
@@ -286,6 +312,60 @@ mod tests {
         assert_eq!(updated, vec![PacketId::new(n(1), 2)]);
         // Only the marked packet cost a cache lookup.
         assert_eq!(inc.cache_stats().lookups(), lookups_after_first + 1);
+    }
+
+    #[test]
+    fn reports_iterate_in_packet_id_order_regardless_of_ingestion_order() {
+        let mut inc =
+            IncrementalReconstructor::new(Reconstructor::new(CtpVocabulary::table2()));
+        // Ingest packets in a scrambled order, across two origins.
+        for (origin, seq) in [(2u16, 7u32), (1, 3), (2, 0), (1, 9), (1, 0), (2, 3)] {
+            let p = PacketId::new(n(origin), seq);
+            inc.ingest_events([Event::new(n(origin), EventKind::Trans { to: n(5) }, p)]);
+        }
+        inc.refresh();
+        let ids: Vec<PacketId> = inc.reports().iter().map(|r| r.packet).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted, "reports() must come back in packet-id order");
+        assert_eq!(ids.len(), 6);
+    }
+
+    #[test]
+    fn refresh_packets_only_touches_the_requested_dirty_ids() {
+        let logs = chain_logs(5);
+        let mut inc =
+            IncrementalReconstructor::new(Reconstructor::new(CtpVocabulary::table2()));
+        inc.ingest_log(&logs[0]);
+        assert_eq!(inc.pending(), 5);
+
+        let wanted = [PacketId::new(n(1), 1), PacketId::new(n(1), 3)];
+        let updated = inc.refresh_packets(wanted);
+        assert_eq!(updated, wanted.to_vec());
+        assert_eq!(inc.pending(), 3, "unrequested packets stay dirty");
+        assert!(inc.report(wanted[0]).is_some());
+        assert!(inc.report(PacketId::new(n(1), 0)).is_none());
+
+        // A later full refresh picks up the remainder.
+        let rest = inc.refresh();
+        assert_eq!(rest.len(), 3);
+        assert_eq!(inc.pending(), 0);
+    }
+
+    #[test]
+    fn refresh_packets_ignores_clean_and_unknown_ids() {
+        let logs = chain_logs(3);
+        let mut inc =
+            IncrementalReconstructor::new(Reconstructor::new(CtpVocabulary::table2()));
+        inc.ingest_log(&logs[0]);
+        inc.refresh();
+        // Clean packet + a packet that was never ingested + duplicates.
+        let updated = inc.refresh_packets([
+            PacketId::new(n(1), 0),
+            PacketId::new(n(9), 42),
+            PacketId::new(n(1), 0),
+        ]);
+        assert!(updated.is_empty());
     }
 
     #[test]

@@ -3,10 +3,76 @@
 //! The analysis side (a PC in the paper) consumes logs offline; this module
 //! gives the reproduction a stable on-disk interchange format so simulated
 //! runs can be archived, shipped and re-analyzed without re-simulating.
+//!
+//! Format: an optional header line `#refill-archive v<N>` (written since
+//! v2; v1 files have no header and are still read), then one JSON object
+//! per line pairing a node id with a log entry. Read failures are typed
+//! ([`ArchiveError`]): corrupt or truncated lines report the line number
+//! and cause, and a file from a future format version is refused up front
+//! instead of failing line by line.
 
 use crate::logger::{LocalLog, LogEntry};
 use serde::{Deserialize, Serialize};
+use std::fmt;
 use std::io::{self, BufRead, Write};
+
+/// Archive format version written by [`write_logs`].
+pub const ARCHIVE_VERSION: u32 = 2;
+
+/// Header prefix; the version number follows it on the same line.
+const HEADER_PREFIX: &str = "#refill-archive v";
+
+/// What can go wrong reading an archive.
+#[derive(Debug)]
+pub enum ArchiveError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// A line was not a well-formed archive record (garbage, truncation,
+    /// or a schema mismatch). Lines are 1-indexed.
+    Corrupt {
+        /// 1-indexed line number of the offending line.
+        line: usize,
+        /// What the parser objected to.
+        detail: String,
+    },
+    /// The file declares a format version newer than this reader.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Newest version this reader understands.
+        supported: u32,
+    },
+}
+
+impl fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchiveError::Io(e) => write!(f, "archive read failed: {e}"),
+            ArchiveError::Corrupt { line, detail } => {
+                write!(f, "archive corrupt at line {line}: {detail}")
+            }
+            ArchiveError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "archive format v{found} is newer than supported v{supported}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArchiveError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ArchiveError {
+    fn from(e: io::Error) -> Self {
+        ArchiveError::Io(e)
+    }
+}
 
 /// One line of the archive: a node's log entry tagged with its node.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -15,11 +81,13 @@ struct ArchiveLine {
     entry: LogEntry,
 }
 
-/// Write a set of local logs as JSON lines.
+/// Write a set of local logs as JSON lines, preceded by the format-version
+/// header.
 ///
 /// Entries are written log-by-log so each node's order is explicit in the
 /// file; readers regroup by node.
 pub fn write_logs<W: Write>(logs: &[LocalLog], mut w: W) -> io::Result<()> {
+    writeln!(w, "{HEADER_PREFIX}{ARCHIVE_VERSION}")?;
     for log in logs {
         for entry in &log.entries {
             let line = ArchiveLine {
@@ -34,18 +102,45 @@ pub fn write_logs<W: Write>(logs: &[LocalLog], mut w: W) -> io::Result<()> {
 }
 
 /// Read logs back from JSON lines. Per-node order is the file order of that
-/// node's lines.
-pub fn read_logs<R: BufRead>(r: R) -> io::Result<Vec<LocalLog>> {
+/// node's lines. Headerless files are read as format v1.
+pub fn read_logs<R: BufRead>(r: R) -> Result<Vec<LocalLog>, ArchiveError> {
     use netsim::NodeId;
     let mut by_node: Vec<LocalLog> = Vec::new();
     let mut index: rustc_hash::FxHashMap<u16, usize> = rustc_hash::FxHashMap::default();
-    for line in r.lines() {
+    let mut seen_content = false;
+    for (lineno, line) in r.lines().enumerate() {
+        let lineno = lineno + 1;
         let line = line?;
-        if line.trim().is_empty() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
             continue;
         }
-        let parsed: ArchiveLine = serde_json::from_str(&line)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if let Some(rest) = trimmed.strip_prefix(HEADER_PREFIX) {
+            if seen_content {
+                return Err(ArchiveError::Corrupt {
+                    line: lineno,
+                    detail: "version header after records".into(),
+                });
+            }
+            let found: u32 = rest.trim().parse().map_err(|_| ArchiveError::Corrupt {
+                line: lineno,
+                detail: format!("unparseable version header '{trimmed}'"),
+            })?;
+            if found > ARCHIVE_VERSION {
+                return Err(ArchiveError::UnsupportedVersion {
+                    found,
+                    supported: ARCHIVE_VERSION,
+                });
+            }
+            seen_content = true;
+            continue;
+        }
+        seen_content = true;
+        let parsed: ArchiveLine =
+            serde_json::from_str(trimmed).map_err(|e| ArchiveError::Corrupt {
+                line: lineno,
+                detail: e.to_string(),
+            })?;
         let idx = *index.entry(parsed.node).or_insert_with(|| {
             by_node.push(LocalLog::new(NodeId(parsed.node)));
             by_node.len() - 1
@@ -92,12 +187,40 @@ mod tests {
     }
 
     #[test]
+    fn archives_carry_a_version_header() {
+        let mut buf = Vec::new();
+        write_logs(&sample_logs(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(
+            text.starts_with(&format!("{HEADER_PREFIX}{ARCHIVE_VERSION}\n")),
+            "header first: {text:.40}"
+        );
+    }
+
+    #[test]
     fn empty_roundtrip() {
         let mut buf = Vec::new();
         write_logs(&[], &mut buf).unwrap();
-        assert!(buf.is_empty());
         let back = read_logs(io::BufReader::new(&buf[..])).unwrap();
         assert!(back.is_empty());
+    }
+
+    #[test]
+    fn headerless_v1_archives_still_read() {
+        // A v1 file: records only, no header line.
+        let logs = sample_logs();
+        let mut buf = Vec::new();
+        write_logs(&logs, &mut buf).unwrap();
+        let headerless: Vec<u8> = {
+            let text = String::from_utf8(buf).unwrap();
+            text.lines()
+                .skip(1)
+                .flat_map(|l| l.bytes().chain(std::iter::once(b'\n')))
+                .collect()
+        };
+        let back = read_logs(io::BufReader::new(&headerless[..])).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].entries, logs[0].entries);
     }
 
     #[test]
@@ -111,9 +234,61 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_line_is_an_error() {
-        let back = read_logs(io::BufReader::new(&b"not json\n"[..]));
-        assert!(back.is_err());
+    fn corrupt_line_is_a_typed_error_with_position() {
+        let mut buf = Vec::new();
+        write_logs(&sample_logs(), &mut buf).unwrap();
+        buf.extend_from_slice(b"not json\n");
+        let err = read_logs(io::BufReader::new(&buf[..])).unwrap_err();
+        match err {
+            ArchiveError::Corrupt { line, .. } => {
+                // Header + 3 records, then the garbage.
+                assert_eq!(line, 5);
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        assert!(err.to_string().contains("line 5"));
+    }
+
+    #[test]
+    fn truncated_record_is_a_typed_error() {
+        let mut buf = Vec::new();
+        write_logs(&sample_logs(), &mut buf).unwrap();
+        // Cut the file mid-record (drop the last 10 bytes).
+        buf.truncate(buf.len() - 10);
+        let err = read_logs(io::BufReader::new(&buf[..])).unwrap_err();
+        assert!(
+            matches!(err, ArchiveError::Corrupt { .. }),
+            "truncation reads as a corrupt final line: {err:?}"
+        );
+    }
+
+    #[test]
+    fn future_version_is_refused() {
+        let data = format!("{HEADER_PREFIX}{}\n", ARCHIVE_VERSION + 1);
+        let err = read_logs(io::BufReader::new(data.as_bytes())).unwrap_err();
+        match err {
+            ArchiveError::UnsupportedVersion { found, supported } => {
+                assert_eq!(found, ARCHIVE_VERSION + 1);
+                assert_eq!(supported, ARCHIVE_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn misplaced_header_is_corrupt() {
+        let mut buf = Vec::new();
+        write_logs(&sample_logs(), &mut buf).unwrap();
+        buf.extend_from_slice(format!("{HEADER_PREFIX}{ARCHIVE_VERSION}\n").as_bytes());
+        let err = read_logs(io::BufReader::new(&buf[..])).unwrap_err();
+        assert!(matches!(err, ArchiveError::Corrupt { .. }));
+    }
+
+    #[test]
+    fn bad_version_number_is_corrupt() {
+        let data = format!("{HEADER_PREFIX}banana\n");
+        let err = read_logs(io::BufReader::new(data.as_bytes())).unwrap_err();
+        assert!(matches!(err, ArchiveError::Corrupt { line: 1, .. }));
     }
 }
 

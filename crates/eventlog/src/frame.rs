@@ -1,0 +1,652 @@
+//! Wire frames: the length-prefixed, checksummed record format the
+//! streaming ingest path speaks.
+//!
+//! In the deployment story, nodes upload their logs to the base station
+//! over the same lossy serial/radio links the paper describes, so the
+//! on-wire format must assume truncation, bit rot, and mid-stream joins.
+//! Each [`NodeRecord`] travels in one self-delimiting frame:
+//!
+//! ```text
+//! +--------+---------+----------+-----------------+---------+
+//! | magic  | version | len (LE) | payload         | crc32   |
+//! | 2 B    | 1 B     | 2 B      | len B           | 4 B     |
+//! +--------+---------+----------+-----------------+---------+
+//! ```
+//!
+//! The CRC-32 (IEEE) covers version, length, and payload, so a corrupted
+//! length cannot silently mis-frame the stream. [`FrameDecoder`] is
+//! *resynchronizing*: on any failure — garbage bytes, a bad checksum, an
+//! unknown version, an undecodable payload — it scans forward to the next
+//! magic sequence and keeps going, counting each maximal run of
+//! undecodable bytes as one corrupt frame instead of aborting the stream.
+//!
+//! The payload is a fixed hand-rolled little-endian encoding of one log
+//! record (22 bytes with a timestamp, 14 without) — no serde on the wire,
+//! matching the byte-budgeted links it models.
+
+use crate::event::{Event, EventKind, PacketId};
+use crate::logger::{LocalLog, LogEntry};
+use netsim::NodeId;
+
+/// Frame delimiter bytes.
+pub const FRAME_MAGIC: [u8; 2] = [0xEF, 0x17];
+
+/// Current frame format version.
+pub const FRAME_VERSION: u8 = 1;
+
+/// Bytes before the payload: magic (2) + version (1) + length (2).
+pub const FRAME_HEADER_LEN: usize = 5;
+
+/// Trailing checksum bytes.
+pub const FRAME_CRC_LEN: usize = 4;
+
+/// Upper bound on a sane payload length; a larger claimed length is
+/// treated as corruption rather than buffered forever.
+pub const MAX_FRAME_PAYLOAD: usize = 64;
+
+/// One node's log record in transit: the lane it belongs to plus the
+/// entry itself (the same pairing `archive::ArchiveLine` uses on disk).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRecord {
+    /// The node whose log this record came from (the stream lane).
+    pub node: NodeId,
+    /// The surviving log entry.
+    pub entry: LogEntry,
+}
+
+impl NodeRecord {
+    /// Construct a record.
+    pub fn new(node: NodeId, entry: LogEntry) -> Self {
+        NodeRecord { node, entry }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// The wire tag of an event kind plus its 16-bit auxiliary word (the peer
+/// node for two-party operations, the opaque code for `Custom`, zero
+/// otherwise). The tag reuses [`EventKind::code`], which is stable by
+/// contract.
+fn kind_to_wire(kind: EventKind) -> (u8, u16) {
+    let aux = match kind {
+        EventKind::Custom(v) => v,
+        _ => kind.peer().map_or(0, |n| n.0),
+    };
+    (kind.code(), aux)
+}
+
+/// Inverse of [`kind_to_wire`]; `None` for an unknown tag.
+fn kind_from_wire(tag: u8, aux: u16) -> Option<EventKind> {
+    Some(match tag {
+        0 => EventKind::Recv { from: NodeId(aux) },
+        1 => EventKind::Overflow { from: NodeId(aux) },
+        2 => EventKind::Dup { from: NodeId(aux) },
+        3 => EventKind::Trans { to: NodeId(aux) },
+        4 => EventKind::AckRecvd { to: NodeId(aux) },
+        5 => EventKind::Origin,
+        6 => EventKind::Enqueue,
+        7 => EventKind::Timeout { to: NodeId(aux) },
+        8 => EventKind::SerialTrans,
+        9 => EventKind::BsRecv,
+        10 => EventKind::Deliver,
+        11 => EventKind::Custom(aux),
+        _ => return None,
+    })
+}
+
+/// Encode one record's payload (no framing) into `out`.
+fn encode_payload(rec: &NodeRecord, out: &mut Vec<u8>) {
+    let e = rec.entry.event;
+    let (tag, aux) = kind_to_wire(e.kind);
+    out.extend_from_slice(&rec.node.0.to_le_bytes());
+    out.extend_from_slice(&e.node.0.to_le_bytes());
+    out.push(tag);
+    out.extend_from_slice(&aux.to_le_bytes());
+    out.extend_from_slice(&e.packet.origin.0.to_le_bytes());
+    out.extend_from_slice(&e.packet.seqno.to_le_bytes());
+    match rec.entry.local_ts {
+        Some(ts) => {
+            out.push(1);
+            out.extend_from_slice(&ts.to_le_bytes());
+        }
+        None => out.push(0),
+    }
+}
+
+/// Decode one payload; `None` if it is not a well-formed v1 record.
+fn decode_payload(b: &[u8]) -> Option<NodeRecord> {
+    if b.len() < 14 {
+        return None;
+    }
+    let node = NodeId(u16::from_le_bytes([b[0], b[1]]));
+    let ev_node = NodeId(u16::from_le_bytes([b[2], b[3]]));
+    let kind = kind_from_wire(b[4], u16::from_le_bytes([b[5], b[6]]))?;
+    let origin = NodeId(u16::from_le_bytes([b[7], b[8]]));
+    let seqno = u32::from_le_bytes([b[9], b[10], b[11], b[12]]);
+    let local_ts = match b[13] {
+        0 if b.len() == 14 => None,
+        1 if b.len() == 22 => Some(u64::from_le_bytes([
+            b[14], b[15], b[16], b[17], b[18], b[19], b[20], b[21],
+        ])),
+        _ => return None,
+    };
+    Some(NodeRecord {
+        node,
+        entry: LogEntry {
+            event: Event::new(ev_node, kind, PacketId::new(origin, seqno)),
+            local_ts,
+        },
+    })
+}
+
+/// Append one complete frame for `rec` to `out`.
+pub fn encode_record(rec: &NodeRecord, out: &mut Vec<u8>) {
+    let mut payload = Vec::with_capacity(22);
+    encode_payload(rec, &mut payload);
+    debug_assert!(payload.len() <= MAX_FRAME_PAYLOAD);
+    out.extend_from_slice(&FRAME_MAGIC);
+    let body_start = out.len();
+    out.push(FRAME_VERSION);
+    out.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+    out.extend_from_slice(&payload);
+    let crc = crc32(&out[body_start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Encode a sequence of records into one contiguous frame stream.
+pub fn encode_records<'a>(records: impl IntoIterator<Item = &'a NodeRecord>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for rec in records {
+        encode_record(rec, &mut out);
+    }
+    out
+}
+
+/// Encode whole local logs, log by log (each node's order explicit in the
+/// stream), mirroring `archive::write_logs`.
+pub fn encode_logs(logs: &[LocalLog]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for log in logs {
+        for entry in &log.entries {
+            encode_record(&NodeRecord::new(log.node, *entry), &mut out);
+        }
+    }
+    out
+}
+
+/// Decoder counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameStats {
+    /// Frames decoded successfully.
+    pub decoded: u64,
+    /// Maximal runs of undecodable bytes skipped (each run counts once,
+    /// however many bytes or failed frame candidates it spans).
+    pub corrupt: u64,
+}
+
+/// A resynchronizing frame decoder over an incrementally fed byte stream.
+///
+/// Feed arbitrary chunks with [`FrameDecoder::push`], then drain with
+/// [`FrameDecoder::next_record`] until it returns `None` (meaning: more
+/// bytes needed). Corruption never ends the stream — the decoder skips to
+/// the next magic sequence and counts the damage in
+/// [`FrameDecoder::stats`]. Chunk boundaries do not affect what is decoded
+/// or how corruption is counted.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted opportunistically).
+    pos: usize,
+    stats: FrameStats,
+    /// True while inside an already-counted run of undecodable bytes;
+    /// cleared by the next successful decode.
+    skipping: bool,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Feed a chunk of bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> FrameStats {
+        self.stats
+    }
+
+    /// Bytes buffered but not yet consumed.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Count one corrupt run (once per maximal run).
+    fn note_corrupt(&mut self) {
+        if !self.skipping {
+            self.stats.corrupt += 1;
+            self.skipping = true;
+        }
+    }
+
+    /// Drop the consumed prefix once it is large enough to matter.
+    fn compact(&mut self) {
+        if self.pos >= 4096 || self.pos == self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Decode the next record, or `None` if the buffer holds no complete
+    /// frame (feed more bytes, or call [`FrameDecoder::finish`] at EOF).
+    pub fn next_record(&mut self) -> Option<NodeRecord> {
+        loop {
+            // Scan to the next magic sequence.
+            let window = &self.buf[self.pos..];
+            match window.windows(2).position(|w| w == FRAME_MAGIC) {
+                Some(0) => {}
+                Some(off) => {
+                    self.note_corrupt();
+                    self.pos += off;
+                }
+                None => {
+                    // No magic in sight: everything except a possible
+                    // trailing magic prefix is garbage.
+                    let keep = usize::from(window.last() == Some(&FRAME_MAGIC[0]));
+                    if window.len() > keep {
+                        self.note_corrupt();
+                    }
+                    self.pos = self.buf.len() - keep;
+                    self.compact();
+                    return None;
+                }
+            }
+            let b = &self.buf[self.pos..];
+            if b.len() < FRAME_HEADER_LEN {
+                self.compact();
+                return None;
+            }
+            let version = b[2];
+            let len = usize::from(u16::from_le_bytes([b[3], b[4]]));
+            if version != FRAME_VERSION || len > MAX_FRAME_PAYLOAD {
+                self.note_corrupt();
+                self.pos += 1;
+                continue;
+            }
+            let total = FRAME_HEADER_LEN + len + FRAME_CRC_LEN;
+            if b.len() < total {
+                self.compact();
+                return None;
+            }
+            let crc_stored = u32::from_le_bytes([
+                b[total - 4],
+                b[total - 3],
+                b[total - 2],
+                b[total - 1],
+            ]);
+            if crc_stored != crc32(&b[2..FRAME_HEADER_LEN + len]) {
+                self.note_corrupt();
+                self.pos += 1;
+                continue;
+            }
+            match decode_payload(&b[FRAME_HEADER_LEN..FRAME_HEADER_LEN + len]) {
+                Some(rec) => {
+                    self.pos += total;
+                    self.stats.decoded += 1;
+                    self.skipping = false;
+                    self.compact();
+                    return Some(rec);
+                }
+                None => {
+                    self.note_corrupt();
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Drain every decodable record currently buffered.
+    pub fn drain(&mut self) -> Vec<NodeRecord> {
+        let mut out = Vec::new();
+        while let Some(rec) = self.next_record() {
+            out.push(rec);
+        }
+        out
+    }
+
+    /// Signal end of stream: a non-empty undecodable tail counts as one
+    /// final corrupt run. Returns the final counters.
+    pub fn finish(&mut self) -> FrameStats {
+        while self.next_record().is_some() {}
+        if self.pending() > 0 {
+            self.note_corrupt();
+            self.pos = self.buf.len();
+            self.compact();
+        }
+        self.stats
+    }
+}
+
+/// Decode one contiguous byte slice (convenience for tests and replay).
+pub fn decode_all(bytes: &[u8]) -> (Vec<NodeRecord>, FrameStats) {
+    let mut dec = FrameDecoder::new();
+    dec.push(bytes);
+    let records = dec.drain();
+    let stats = dec.finish();
+    (records, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::NodeId;
+
+    fn rec(node: u16, seq: u32, ts: Option<u64>) -> NodeRecord {
+        NodeRecord::new(
+            NodeId(node),
+            LogEntry {
+                event: Event::new(
+                    NodeId(node),
+                    EventKind::Trans { to: NodeId(node + 1) },
+                    PacketId::new(NodeId(node), seq),
+                ),
+                local_ts: ts,
+            },
+        )
+    }
+
+    fn sample_records() -> Vec<NodeRecord> {
+        vec![
+            rec(1, 0, Some(1_000)),
+            rec(2, 0, None),
+            NodeRecord::new(
+                NodeId(3),
+                LogEntry {
+                    event: Event::new(
+                        NodeId(3),
+                        EventKind::Custom(0xBEEF),
+                        PacketId::new(NodeId(1), 7),
+                    ),
+                    local_ts: Some(u64::MAX),
+                },
+            ),
+            NodeRecord::new(
+                NodeId(4),
+                LogEntry {
+                    event: Event::new(
+                        NodeId(4),
+                        EventKind::Origin,
+                        PacketId::new(NodeId(4), 42),
+                    ),
+                    local_ts: None,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        let p = PacketId::new(NodeId(9), 3);
+        let kinds = [
+            EventKind::Recv { from: NodeId(1) },
+            EventKind::Overflow { from: NodeId(2) },
+            EventKind::Dup { from: NodeId(3) },
+            EventKind::Trans { to: NodeId(4) },
+            EventKind::AckRecvd { to: NodeId(5) },
+            EventKind::Origin,
+            EventKind::Enqueue,
+            EventKind::Timeout { to: NodeId(6) },
+            EventKind::SerialTrans,
+            EventKind::BsRecv,
+            EventKind::Deliver,
+            EventKind::Custom(512),
+        ];
+        let records: Vec<NodeRecord> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| {
+                NodeRecord::new(
+                    NodeId(i as u16),
+                    LogEntry {
+                        event: Event::new(NodeId(i as u16), kind, p),
+                        local_ts: (i % 2 == 0).then_some(i as u64 * 17),
+                    },
+                )
+            })
+            .collect();
+        let bytes = encode_records(&records);
+        let (back, stats) = decode_all(&bytes);
+        assert_eq!(back, records);
+        assert_eq!(stats.decoded, records.len() as u64);
+        assert_eq!(stats.corrupt, 0);
+    }
+
+    #[test]
+    fn chunked_feeding_is_boundary_independent() {
+        let records = sample_records();
+        let bytes = encode_records(&records);
+        for chunk in [1usize, 2, 3, 7, 64] {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for piece in bytes.chunks(chunk) {
+                dec.push(piece);
+                got.extend(dec.drain());
+            }
+            let stats = dec.finish();
+            assert_eq!(got, records, "chunk size {chunk}");
+            assert_eq!(stats.corrupt, 0, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn garbage_between_frames_is_counted_once_and_skipped() {
+        let records = sample_records();
+        let mut bytes = Vec::new();
+        encode_record(&records[0], &mut bytes);
+        bytes.extend_from_slice(b"not a frame at all");
+        encode_record(&records[1], &mut bytes);
+        let (back, stats) = decode_all(&bytes);
+        assert_eq!(back, vec![records[0], records[1]]);
+        assert_eq!(stats.decoded, 2);
+        assert_eq!(stats.corrupt, 1, "one garbage run, one count");
+    }
+
+    #[test]
+    fn bit_flip_in_payload_fails_crc_and_resyncs() {
+        let records = sample_records();
+        let mut bytes = encode_records(&records);
+        // Flip one payload byte of the second frame.
+        let frame_len = {
+            let mut one = Vec::new();
+            encode_record(&records[0], &mut one);
+            one.len()
+        };
+        bytes[frame_len + FRAME_HEADER_LEN] ^= 0x40;
+        let (back, stats) = decode_all(&bytes);
+        assert_eq!(back.len(), records.len() - 1, "exactly the damaged frame lost");
+        assert!(!back.contains(&records[1]));
+        assert_eq!(stats.corrupt, 1);
+    }
+
+    #[test]
+    fn truncated_tail_counts_as_corrupt_on_finish() {
+        let records = sample_records();
+        let mut bytes = encode_records(&records);
+        bytes.truncate(bytes.len() - 3);
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let got = dec.drain();
+        assert_eq!(got.len(), records.len() - 1);
+        let stats = dec.finish();
+        assert_eq!(stats.corrupt, 1);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn unknown_version_is_skipped_not_fatal() {
+        let records = sample_records();
+        let mut first = Vec::new();
+        encode_record(&records[0], &mut first);
+        first[2] = 9; // future version
+        let mut bytes = first;
+        encode_record(&records[1], &mut bytes);
+        let (back, stats) = decode_all(&bytes);
+        assert_eq!(back, vec![records[1]]);
+        assert_eq!(stats.corrupt, 1);
+    }
+
+    #[test]
+    fn mid_stream_join_recovers() {
+        // A decoder attached mid-stream (first frame cut in half) recovers
+        // from the next frame boundary.
+        let records = sample_records();
+        let bytes = encode_records(&records);
+        let (back, stats) = decode_all(&bytes[10..]);
+        assert_eq!(back, records[1..].to_vec());
+        assert_eq!(stats.corrupt, 1);
+    }
+
+    #[test]
+    fn empty_and_pure_garbage_streams() {
+        let (back, stats) = decode_all(&[]);
+        assert!(back.is_empty());
+        assert_eq!(stats, FrameStats::default());
+
+        let (back, stats) = decode_all(b"ppppppppppppppp");
+        assert!(back.is_empty());
+        assert_eq!(stats.decoded, 0);
+        assert_eq!(stats.corrupt, 1);
+    }
+
+    #[test]
+    fn encode_logs_matches_per_record_encoding() {
+        let log = LocalLog {
+            node: NodeId(5),
+            entries: vec![rec(5, 0, Some(3)).entry, rec(5, 1, None).entry],
+        };
+        let by_log = encode_logs(std::slice::from_ref(&log));
+        let records: Vec<NodeRecord> = log
+            .entries
+            .iter()
+            .map(|e| NodeRecord::new(log.node, *e))
+            .collect();
+        assert_eq!(by_log, encode_records(&records));
+        let (back, _) = decode_all(&by_log);
+        assert_eq!(back, records);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_record() -> impl Strategy<Value = NodeRecord> {
+        (
+            0u16..100,
+            0u8..12,
+            any::<u16>(),
+            0u16..100,
+            any::<u32>(),
+            proptest::option::of(any::<u64>()),
+        )
+            .prop_map(|(node, tag, aux, origin, seqno, ts)| {
+                let kind = kind_from_wire(tag, aux).expect("tag in range");
+                NodeRecord::new(
+                    NodeId(node),
+                    LogEntry {
+                        event: Event::new(
+                            NodeId(node),
+                            kind,
+                            PacketId::new(NodeId(origin), seqno),
+                        ),
+                        local_ts: ts,
+                    },
+                )
+            })
+    }
+
+    proptest! {
+        /// Encode→decode is the identity for arbitrary record sequences,
+        /// under arbitrary chunking.
+        #[test]
+        fn roundtrip_is_lossless(
+            records in proptest::collection::vec(arb_record(), 0..40),
+            chunk in 1usize..97,
+        ) {
+            let bytes = encode_records(&records);
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for piece in bytes.chunks(chunk.max(1)) {
+                dec.push(piece);
+                got.extend(dec.drain());
+            }
+            let stats = dec.finish();
+            prop_assert_eq!(got, records);
+            prop_assert_eq!(stats.corrupt, 0);
+        }
+
+        /// Arbitrary injected garbage never panics the decoder and never
+        /// corrupts the frames around it.
+        #[test]
+        fn garbage_injection_is_survivable(
+            records in proptest::collection::vec(arb_record(), 1..10),
+            garbage in proptest::collection::vec(any::<u8>(), 1..64),
+            at in 0usize..10,
+        ) {
+            let at = at.min(records.len());
+            let mut bytes = encode_records(&records[..at]);
+            bytes.extend_from_slice(&garbage);
+            bytes.extend_from_slice(&encode_records(&records[at..]));
+            let mut dec = FrameDecoder::new();
+            dec.push(&bytes);
+            let got = dec.drain();
+            let _ = dec.finish();
+            // Every frame before the garbage survives; frames after it
+            // survive unless the garbage happens to embed a valid-looking
+            // frame prefix that swallows the next real frame.
+            prop_assert!(got.len() >= at);
+            for (g, r) in got.iter().zip(records[..at].iter()) {
+                prop_assert_eq!(g, r);
+            }
+        }
+    }
+}

@@ -17,14 +17,19 @@ pub mod clock;
 pub mod collect;
 pub mod event;
 pub mod fate;
+pub mod frame;
 pub mod logger;
 pub mod merge;
+pub mod watermark;
 
+pub use archive::ArchiveError;
 pub use clock::ClockModel;
 pub use collect::{CollectionConfig, LossyCollector};
 pub use event::{Event, EventKind, PacketId, SeqNo};
 pub use fate::{GroundTruth, LossCause, PacketFate, TruthEvent};
+pub use frame::{FrameDecoder, FrameStats, NodeRecord};
 pub use logger::{LocalLog, LogEntry, LoggerConfig, NodeLogger};
 pub use merge::{merge_logs, merge_logs_recorded, MergedLog, PacketIndex};
+pub use watermark::{Lateness, Mark, WatermarkTracker};
 
 pub use netsim::{NodeId, SimTime};

@@ -74,12 +74,28 @@ pub enum Counter {
     /// Dirty packets skipped by an incremental refresh because their
     /// event set had not changed.
     IncrementalSkipped,
+    /// Wire frames decoded successfully by the streaming ingest path.
+    FramesDecoded,
+    /// Wire frames skipped as corrupt (bad magic run, bad checksum,
+    /// unknown version, or undecodable payload).
+    FramesCorrupt,
+    /// Event records accepted into the stream reconstructor's lanes.
+    StreamRecords,
+    /// Offers refused because a per-node lane was at capacity (the caller
+    /// must pump before retrying — each refusal is one backpressure stall).
+    StreamBackpressure,
+    /// Records that arrived for a packet whose window had already closed.
+    StreamLateEvents,
+    /// Packet windows closed (watermark passage or lateness timeout).
+    WindowsClosed,
+    /// Closed windows reopened by a late arrival.
+    WindowsReopened,
 }
 
 impl Counter {
     /// Every counter, in declaration order (the array layout of
     /// [`AtomicRecorder`]).
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 26] = [
         Counter::CacheHits,
         Counter::CacheMisses,
         Counter::CacheInserts,
@@ -99,6 +115,13 @@ impl Counter {
         Counter::IndexedPackets,
         Counter::IncrementalRefreshed,
         Counter::IncrementalSkipped,
+        Counter::FramesDecoded,
+        Counter::FramesCorrupt,
+        Counter::StreamRecords,
+        Counter::StreamBackpressure,
+        Counter::StreamLateEvents,
+        Counter::WindowsClosed,
+        Counter::WindowsReopened,
     ];
 
     /// Number of counters.
@@ -126,6 +149,13 @@ impl Counter {
             Counter::IndexedPackets => "indexed_packets",
             Counter::IncrementalRefreshed => "incremental_refreshed",
             Counter::IncrementalSkipped => "incremental_skipped",
+            Counter::FramesDecoded => "frames_decoded",
+            Counter::FramesCorrupt => "frames_corrupt",
+            Counter::StreamRecords => "stream_records",
+            Counter::StreamBackpressure => "stream_backpressure",
+            Counter::StreamLateEvents => "stream_late_events",
+            Counter::WindowsClosed => "windows_closed",
+            Counter::WindowsReopened => "windows_reopened",
         }
     }
 
@@ -162,11 +192,17 @@ pub enum Stage {
     Baselines,
     /// Transport-layer statistics extraction.
     Transport,
+    /// Wire-frame decoding (scan, checksum, payload decode) on the
+    /// streaming ingest path.
+    Decode,
+    /// Stream window bookkeeping: lane pumping, watermark updates, and
+    /// close sweeps (excludes the reconstruction the sweep triggers).
+    Window,
 }
 
 impl Stage {
     /// Every stage, in declaration order.
-    pub const ALL: [Stage; 9] = [
+    pub const ALL: [Stage; 11] = [
         Stage::Merge,
         Stage::Index,
         Stage::Signature,
@@ -176,6 +212,8 @@ impl Stage {
         Stage::Diagnose,
         Stage::Baselines,
         Stage::Transport,
+        Stage::Decode,
+        Stage::Window,
     ];
 
     /// Number of stages.
@@ -193,6 +231,8 @@ impl Stage {
             Stage::Diagnose => "diagnose",
             Stage::Baselines => "baselines",
             Stage::Transport => "transport",
+            Stage::Decode => "decode",
+            Stage::Window => "window",
         }
     }
 
@@ -218,17 +258,24 @@ pub enum Hist {
     /// Nanoseconds each crossbeam worker waited between spawn and its
     /// first packet (queue wait).
     QueueWaitNs,
+    /// Per-node lane depth sampled at each stream pump (backpressure
+    /// headroom: a lane pinned near capacity stalls its ingest worker).
+    StreamQueueDepth,
+    /// Events a packet window held when it closed.
+    WindowEvents,
 }
 
 impl Hist {
     /// Every histogram, in declaration order.
-    pub const ALL: [Hist; 6] = [
+    pub const ALL: [Hist; 8] = [
         Hist::GroupEvents,
         Hist::FlowEntries,
         Hist::NodeLogEvents,
         Hist::WorkerPackets,
         Hist::WorkerBusyNs,
         Hist::QueueWaitNs,
+        Hist::StreamQueueDepth,
+        Hist::WindowEvents,
     ];
 
     /// Number of histograms.
@@ -243,6 +290,8 @@ impl Hist {
             Hist::WorkerPackets => "worker_packets",
             Hist::WorkerBusyNs => "worker_busy_ns",
             Hist::QueueWaitNs => "queue_wait_ns",
+            Hist::StreamQueueDepth => "stream_queue_depth",
+            Hist::WindowEvents => "window_events",
         }
     }
 
