@@ -2,9 +2,10 @@
 //! grouping (hashmap copy vs zero-copy index), the per-packet hot path,
 //! sequential vs rayon vs crossbeam drivers, and diagnosis.
 
+use bench::synth_merge_logs;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use citysee::{run_scenario, Scenario};
-use eventlog::merge_logs;
+use eventlog::{merge_logs, merge_logs_kway, merge_logs_partitioned};
 use refill::diagnose::Diagnoser;
 use refill::parallel::{reconstruct_crossbeam, reconstruct_rayon, reconstruct_rayon_cached};
 use refill::sigcache::SigCache;
@@ -37,6 +38,23 @@ fn bench_merge(c: &mut Criterion) {
     group.bench_function("k_way_merge", |b| {
         b.iter(|| black_box(merge_logs(&campaign.collected)))
     });
+    // Fan-in sweep on synthetic sorted logs at a fixed total event count:
+    // K = 1200 is the paper's CitySee deployment scale, where the old
+    // cursor scan paid ~K compares per event and the loser tree pays
+    // ~log2(K) ≈ 10. `partitioned` adds the rayon time-partitioned
+    // front-end on top of the same loser tree.
+    const SWEEP_EVENTS: usize = 240_000;
+    for k in [60usize, 300, 1200] {
+        let logs = synth_merge_logs(k, SWEEP_EVENTS);
+        let events: usize = logs.iter().map(|l| l.len()).sum();
+        group.throughput(Throughput::Elements(events as u64));
+        group.bench_with_input(BenchmarkId::new("loser_tree", k), &logs, |b, logs| {
+            b.iter(|| black_box(merge_logs_kway(logs)))
+        });
+        group.bench_with_input(BenchmarkId::new("partitioned", k), &logs, |b, logs| {
+            b.iter(|| black_box(merge_logs_partitioned(logs, rayon::current_num_threads())))
+        });
+    }
     group.finish();
 }
 

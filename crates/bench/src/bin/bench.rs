@@ -7,8 +7,9 @@
 //! * `REFILL_BENCH_OUT` — override the output path
 //! * `REFILL_BENCH_REPS` — measured repetitions per driver (default 3)
 
+use bench::synth_merge_logs;
 use citysee::{run_scenario, Scenario};
-use eventlog::merge_logs_recorded;
+use eventlog::{merge_logs_kway, merge_logs_partitioned, merge_logs_recorded};
 use refill::parallel::{reconstruct_crossbeam, reconstruct_rayon, reconstruct_rayon_cached};
 use refill::sigcache::SigCache;
 use refill::telemetry::{AtomicRecorder, Recorder, TelemetrySnapshot};
@@ -98,6 +99,43 @@ fn main() {
         shared
     });
     let merge_recorded_s = time_call(|| merge_logs_recorded(&campaign.collected, &*recorder), reps);
+
+    // Merge fan-in sweep on synthetic sorted logs: the sequential loser
+    // tree vs the time-partitioned parallel front-end at the paper's
+    // deployment scale (K = 1200 nodes) and two smaller fan-ins, fixed
+    // total event count. The headline fields report K = 1200; the per-K
+    // map keeps the whole sweep. The partition count the auto path
+    // actually picks is read back from a recorded merge.
+    let merge_sweep_total = 1_200_000usize;
+    let mut merge_by_k = serde_json::Map::new();
+    let mut merge_kway_eps = 0.0f64;
+    let mut merge_parallel_eps = 0.0f64;
+    for k in [60usize, 300, 1200] {
+        let logs = synth_merge_logs(k, merge_sweep_total);
+        let sweep_events: usize = logs.iter().map(|l| l.len()).sum();
+        let kway_s = time_call(|| merge_logs_kway(&logs), reps);
+        let parallel_s = time_call(
+            || merge_logs_partitioned(&logs, rayon::current_num_threads()),
+            reps,
+        );
+        if k == 1200 {
+            merge_kway_eps = sweep_events as f64 / kway_s;
+            merge_parallel_eps = sweep_events as f64 / parallel_s;
+        }
+        merge_by_k.insert(
+            format!("k{k}"),
+            json!({
+                "events": sweep_events,
+                "loser_tree_ms": kway_s * 1e3,
+                "partitioned_ms": parallel_s * 1e3,
+            }),
+        );
+    }
+    let merge_partitions = {
+        let rec = AtomicRecorder::new();
+        let _ = merge_logs_recorded(&synth_merge_logs(1200, merge_sweep_total), &rec);
+        rec.snapshot().counter("merge_partitions")
+    };
     let telemetry_warm_s = time_call(
         || recorded_recon.reconstruct_log_cached(&campaign.merged, &recorded_cache),
         reps,
@@ -162,6 +200,10 @@ fn main() {
         "group_by_packet_ms": group_hashmap_s * 1e3,
         "group_packet_index_ms": group_index_s * 1e3,
         "merge_logs_recorded_ms": merge_recorded_s * 1e3,
+        "merge_kway_mevents_per_sec": merge_kway_eps / 1e6,
+        "merge_parallel_mevents_per_sec": merge_parallel_eps / 1e6,
+        "merge_partitions": merge_partitions,
+        "merge_by_k_ms": serde_json::Value::Object(merge_by_k),
         "telemetry_packets_per_sec": pps(telemetry_warm_s),
         "telemetry_overhead_ratio": telemetry_warm_s / cached_warm_s,
         // Mean per-run stage time from the instrumented pass (includes the
@@ -213,6 +255,12 @@ fn main() {
         "[bench] telemetry: {:.0} packets/sec instrumented ({:.2}x of plain warm)",
         pps(telemetry_warm_s),
         telemetry_warm_s / cached_warm_s,
+    );
+    eprintln!(
+        "[bench] merge (K=1200): {:.1} Mevents/sec loser tree, {:.1} Mevents/sec partitioned ({} partitions)",
+        merge_kway_eps / 1e6,
+        merge_parallel_eps / 1e6,
+        merge_partitions,
     );
     eprintln!(
         "[bench] stream: {} records replayed cold at {:.0} records/sec ({:.0} packets/sec, {} corrupt frames)",

@@ -10,6 +10,9 @@
 //! * `REFILL_NODES`, `REFILL_DAYS` — override individual dimensions
 
 use citysee::{analyze, run_scenario, Analysis, Campaign, Scenario};
+use eventlog::logger::{LocalLog, LogEntry};
+use eventlog::{Event, EventKind, PacketId};
+use netsim::NodeId;
 use std::path::{Path, PathBuf};
 
 /// Resolve the scenario from the environment (see module docs).
@@ -65,6 +68,30 @@ pub fn run_and_analyze() -> (Campaign, Analysis) {
     (campaign, analysis)
 }
 
+/// K sorted per-node logs totalling ~`total` events — the merge fan-in
+/// shape of a CitySee deployment (K nodes reporting one interleaved day).
+/// Each log is sorted by `local_ts` with a deterministic per-node phase,
+/// so timestamps interleave densely across logs and collide across nodes,
+/// which is the worst case for merge tie-breaking and the intended case
+/// for time partitioning.
+pub fn synth_merge_logs(k: usize, total: usize) -> Vec<LocalLog> {
+    let per = total / k.max(1);
+    (0..k)
+        .map(|i| {
+            let node = NodeId(i as u16 + 1);
+            LocalLog {
+                node,
+                entries: (0..per)
+                    .map(|j| LogEntry {
+                        event: Event::new(node, EventKind::Origin, PacketId::new(node, j as u32)),
+                        local_ts: Some(j as u64 * 1_000 + (i as u64 * 37) % 1_000),
+                    })
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
 /// The output directory for CSV artifacts (created on demand).
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("REFILL_RESULTS").unwrap_or_else(|_| "results".into());
@@ -97,6 +124,18 @@ mod tests {
             let s = scenario_from_env();
             assert_eq!(s.name, "citysee-standard");
         }
+    }
+
+    #[test]
+    fn synth_merge_logs_are_sorted_and_merge_identically() {
+        let logs = synth_merge_logs(7, 700);
+        assert_eq!(logs.len(), 7);
+        for l in &logs {
+            assert!(l.entries.windows(2).all(|w| w[0].local_ts <= w[1].local_ts));
+        }
+        let seq = eventlog::merge_logs_kway(&logs).events;
+        assert_eq!(eventlog::merge_logs(&logs).events, seq);
+        assert_eq!(eventlog::merge_logs_partitioned(&logs, 4).events, seq);
     }
 
     #[test]

@@ -440,7 +440,12 @@ pub fn trace(args: &[String]) -> Result<(), String> {
 ///
 /// Single-threaded on purpose: stage totals then add up to wall-clock time
 /// instead of summing CPU time across rayon workers, which makes the table
-/// directly readable as "where did the time go".
+/// directly readable as "where did the time go". The one exception is the
+/// merge front-end, which partitions across rayon workers on large inputs:
+/// its `merge` row is still wall time (the outer span runs on this
+/// thread), while the nested `merge_partition` rows sum worker CPU time —
+/// their total exceeding `merge` is the parallel speedup, not an
+/// accounting error.
 pub fn profile(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &[])?;
     let mut sink_from_sim = None;
@@ -500,6 +505,13 @@ pub fn profile(args: &[String]) -> Result<(), String> {
 
     let snapshot = recorder.snapshot();
     print!("{}", snapshot.render_table());
+    let partitions = snapshot.counter("merge_partitions");
+    if partitions > 1 {
+        println!(
+            "\nmerge ran time-partitioned over {partitions} strips \
+             (merge row = wall time; merge_partition rows sum worker CPU time)"
+        );
+    }
     let throughput = if secs > 0.0 { packets as f64 / secs } else { 0.0 };
     println!("\n{packets} packets in {secs:.3}s ({throughput:.0} packets/sec, single-threaded)");
     if let Some(path) = flags.get("telemetry") {

@@ -143,8 +143,16 @@ impl IncrementalReconstructor {
 
     /// Shared refresh body: `ids` have already been removed from the dirty
     /// set; filter out the ones whose event sets did not change, then
-    /// reconstruct the rest in parallel.
+    /// reconstruct the rest — in parallel when the batch is big enough to
+    /// pay for rayon's fork-join, on the calling thread otherwise. The
+    /// sequential path matters under streaming: a poll typically closes
+    /// only a handful of windows, and forking workers per-handful costs
+    /// more than the reconstructions themselves. Output is identical
+    /// either way (ids are sorted first; the parallel collect preserves
+    /// order).
     fn refresh_ids(&mut self, mut ids: Vec<PacketId>) -> Vec<PacketId> {
+        /// Batches below this size reconstruct on the calling thread.
+        const PAR_MIN_IDS: usize = 8;
         let drained = ids.len();
         ids.retain(|id| {
             let len = self.events.get(id).map_or(0, Vec::len);
@@ -157,10 +165,13 @@ impl IncrementalReconstructor {
         let recon = &self.recon;
         let events = &self.events;
         let cache = &self.cache;
-        let updated: Vec<(PacketId, PacketReport)> = ids
-            .par_iter()
-            .map(|id| (*id, recon.reconstruct_packet_cached(*id, &events[id], cache)))
-            .collect();
+        let reconstruct =
+            |id: &PacketId| (*id, recon.reconstruct_packet_cached(*id, &events[id], cache));
+        let updated: Vec<(PacketId, PacketReport)> = if ids.len() < PAR_MIN_IDS {
+            ids.iter().map(reconstruct).collect()
+        } else {
+            ids.par_iter().map(reconstruct).collect()
+        };
         for (id, report) in updated {
             self.reconstructed_len.insert(id, self.events[&id].len());
             self.reports.insert(id, report);

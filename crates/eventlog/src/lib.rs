@@ -29,7 +29,10 @@ pub use event::{Event, EventKind, PacketId, SeqNo};
 pub use fate::{GroundTruth, LossCause, PacketFate, TruthEvent};
 pub use frame::{FrameDecoder, FrameStats, NodeRecord};
 pub use logger::{LocalLog, LogEntry, LoggerConfig, NodeLogger};
-pub use merge::{merge_logs, merge_logs_recorded, MergedLog, PacketIndex};
+pub use merge::{
+    merge_logs, merge_logs_kway, merge_logs_partitioned, merge_logs_recorded, MergedLog,
+    PacketIndex,
+};
 pub use watermark::{Lateness, Mark, WatermarkTracker};
 
 pub use netsim::{NodeId, SimTime};

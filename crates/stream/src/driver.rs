@@ -5,7 +5,12 @@
 //! [`FrameDecoder`], and ships decoded record batches over a *bounded*
 //! crossbeam channel; the **reconstruction worker** (the calling thread)
 //! drains batches into a [`StreamReconstructor`], polling for closed
-//! windows as it goes. The bounded channel is the backpressure spine: when
+//! windows as it goes. Each blocking receive is followed by a bounded
+//! non-blocking drain of whatever else is already queued
+//! ([`DriverConfig::drain_batches`]), so when ingest runs ahead the
+//! reconstruction side absorbs records in large waves and each poll hands
+//! the incremental refresher enough closed windows to reconstruct in
+//! parallel. The bounded channel is the backpressure spine: when
 //! reconstruction falls behind, the ingest worker blocks on `send` instead
 //! of buffering without limit. Shutdown is graceful by construction — the
 //! ingest worker drops its sender at EOF (or on a read error), the batch
@@ -31,6 +36,15 @@ pub struct DriverConfig {
     /// Poll for closed windows after this many absorbed records. Treated
     /// as at least 1.
     pub poll_every: usize,
+    /// After each blocking receive, opportunistically drain up to this many
+    /// additional already-queued batches (non-blocking `try_recv`) before
+    /// reconstructing. Larger waves feed more closed windows into each
+    /// poll, so the incremental refresh behind it crosses its parallel
+    /// threshold instead of reconstructing windows one or two at a time.
+    /// 0 disables the drain; report emission is unaffected either way
+    /// because polling is driven by the absorbed-record count, not by
+    /// batch boundaries.
+    pub drain_batches: usize,
 }
 
 impl Default for DriverConfig {
@@ -39,6 +53,7 @@ impl Default for DriverConfig {
             chunk_bytes: 8 * 1024,
             channel_batches: 4,
             poll_every: 64,
+            drain_batches: 16,
         }
     }
 }
@@ -118,8 +133,20 @@ where
         });
 
         let mut since_poll = 0usize;
-        for batch in rx.iter() {
-            for rec in batch {
+        while let Ok(mut wave) = rx.recv() {
+            // Wave drain: scoop whatever the ingest worker already queued
+            // (bounded, non-blocking) so one reconstruction pass absorbs a
+            // larger contiguous run of records. Poll cadence stays pinned
+            // to the absorbed-record count, so the record sequence alone
+            // determines when windows close and reports emit — identical
+            // output whether records arrived in one wave or many.
+            for _ in 0..config.drain_batches {
+                match rx.try_recv() {
+                    Ok(more) => wave.extend(more),
+                    Err(_) => break,
+                }
+            }
+            for rec in wave {
                 stream.ingest(rec);
                 since_poll += 1;
                 if since_poll >= poll_every {
@@ -226,6 +253,7 @@ mod tests {
             chunk_bytes: 64, // tiny chunks: frames split across reads
             channel_batches: 2,
             poll_every: 3,
+            drain_batches: 4,
         };
         let mut rolling = 0u64;
         let summary =
@@ -237,6 +265,40 @@ mod tests {
 
         let batch = recon().reconstruct_log(&merge_logs(&logs_of(&recs)));
         assert_eq!(summary.reports, batch);
+    }
+
+    #[test]
+    fn wave_draining_never_changes_output() {
+        // Poll cadence is pinned to the absorbed-record count, so however
+        // many batches a wave scoops up, reports and rolling emission are
+        // identical.
+        let recs = records(30);
+        let bytes = encode_records(recs.iter());
+        let run_with = |drain_batches: usize| {
+            let mut stream = StreamReconstructor::with_config(
+                recon(),
+                StreamConfig {
+                    lane_capacity: 8,
+                    lateness: Lateness {
+                        records: 2,
+                        micros: u64::MAX,
+                    },
+                },
+            );
+            let config = DriverConfig {
+                chunk_bytes: 64,
+                channel_batches: 2,
+                poll_every: 3,
+                drain_batches,
+            };
+            let summary =
+                run_stream(Cursor::new(&bytes), &mut stream, config, |_| {}).unwrap();
+            (summary.rolling_reports, summary.reports)
+        };
+        let undrained = run_with(0);
+        for drain in [1, 4, 64] {
+            assert_eq!(run_with(drain), undrained, "drain_batches = {drain}");
+        }
     }
 
     #[test]

@@ -67,6 +67,9 @@ pub enum Counter {
     MergeTimestamped,
     /// Merges that fell back to round-robin (some log untimestamped).
     MergeRoundRobin,
+    /// Timestamp-domain strips merged by the timestamped path: P per
+    /// partitioned-parallel merge, 1 per sequential loser-tree merge.
+    MergePartitions,
     /// Packet groups produced by `PacketIndex` builds.
     IndexedPackets,
     /// Dirty packets actually re-reconstructed by an incremental refresh.
@@ -95,7 +98,7 @@ pub enum Counter {
 impl Counter {
     /// Every counter, in declaration order (the array layout of
     /// [`AtomicRecorder`]).
-    pub const ALL: [Counter; 26] = [
+    pub const ALL: [Counter; 27] = [
         Counter::CacheHits,
         Counter::CacheMisses,
         Counter::CacheInserts,
@@ -112,6 +115,7 @@ impl Counter {
         Counter::MergeEvents,
         Counter::MergeTimestamped,
         Counter::MergeRoundRobin,
+        Counter::MergePartitions,
         Counter::IndexedPackets,
         Counter::IncrementalRefreshed,
         Counter::IncrementalSkipped,
@@ -146,6 +150,7 @@ impl Counter {
             Counter::MergeEvents => "merge_events",
             Counter::MergeTimestamped => "merge_timestamped",
             Counter::MergeRoundRobin => "merge_round_robin",
+            Counter::MergePartitions => "merge_partitions",
             Counter::IndexedPackets => "indexed_packets",
             Counter::IncrementalRefreshed => "incremental_refreshed",
             Counter::IncrementalSkipped => "incremental_skipped",
@@ -175,6 +180,10 @@ pub enum Stage {
     /// K-way merge of per-node logs (includes the per-node clock-alignment
     /// ordering decision: timestamp path vs. round-robin fallback).
     Merge,
+    /// One timestamp strip's loser-tree merge inside the partitioned
+    /// parallel merge. Nested inside `merge`; spans from concurrent
+    /// workers sum, so the total is CPU time, not wall time.
+    MergePartition,
     /// `PacketIndex` build over the merged log.
     Index,
     /// Canonical flow-signature computation (alpha-renaming + hashing).
@@ -202,8 +211,9 @@ pub enum Stage {
 
 impl Stage {
     /// Every stage, in declaration order.
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 12] = [
         Stage::Merge,
+        Stage::MergePartition,
         Stage::Index,
         Stage::Signature,
         Stage::Cache,
@@ -223,6 +233,7 @@ impl Stage {
     pub fn name(self) -> &'static str {
         match self {
             Stage::Merge => "merge",
+            Stage::MergePartition => "merge_partition",
             Stage::Index => "index",
             Stage::Signature => "signature",
             Stage::Cache => "cache",
@@ -251,6 +262,10 @@ pub enum Hist {
     FlowEntries,
     /// Events per node log fed into merge.
     NodeLogEvents,
+    /// Events per timestamp strip in the partitioned parallel merge
+    /// (balance check: a skewed event-time distribution shows up here as
+    /// lopsided strips).
+    MergePartitionEvents,
     /// Packets reconstructed per crossbeam worker (throughput balance).
     WorkerPackets,
     /// Nanoseconds each crossbeam worker spent reconstructing.
@@ -267,10 +282,11 @@ pub enum Hist {
 
 impl Hist {
     /// Every histogram, in declaration order.
-    pub const ALL: [Hist; 8] = [
+    pub const ALL: [Hist; 9] = [
         Hist::GroupEvents,
         Hist::FlowEntries,
         Hist::NodeLogEvents,
+        Hist::MergePartitionEvents,
         Hist::WorkerPackets,
         Hist::WorkerBusyNs,
         Hist::QueueWaitNs,
@@ -287,6 +303,7 @@ impl Hist {
             Hist::GroupEvents => "group_events",
             Hist::FlowEntries => "flow_entries",
             Hist::NodeLogEvents => "node_log_events",
+            Hist::MergePartitionEvents => "merge_partition_events",
             Hist::WorkerPackets => "worker_packets",
             Hist::WorkerBusyNs => "worker_busy_ns",
             Hist::QueueWaitNs => "queue_wait_ns",
