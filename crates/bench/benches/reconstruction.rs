@@ -5,9 +5,13 @@
 use bench::synth_merge_logs;
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use citysee::{run_scenario, Scenario};
-use eventlog::{merge_logs, merge_logs_kway, merge_logs_partitioned};
+use eventlog::columnar::ColumnarIndex;
+use eventlog::{merge_logs, merge_logs_kway, merge_logs_partitioned, merge_logs_store};
 use refill::diagnose::Diagnoser;
-use refill::parallel::{reconstruct_crossbeam, reconstruct_rayon, reconstruct_rayon_cached};
+use refill::parallel::{
+    reconstruct_columnar, reconstruct_crossbeam, reconstruct_fused, reconstruct_rayon,
+    reconstruct_rayon_cached,
+};
 use refill::sigcache::SigCache;
 use refill::trace::{CtpVocabulary, Reconstructor};
 
@@ -163,6 +167,57 @@ fn bench_cached(c: &mut Criterion) {
     group.finish();
 }
 
+/// Legacy vs fused columnar pipeline, sequential and parallel. The legacy
+/// rows pay merge + group + reconstruct as separate passes over an
+/// intermediate merged `Vec<Event>`; the fused rows run merge → packed
+/// store → permutation index → reconstruction with no intermediate event
+/// vector. `*_seq` isolates the data-layout effect; `*_par` adds the
+/// scheduler comparison (rayon vs size-aware work stealing).
+fn bench_columnar(c: &mut Criterion) {
+    let campaign = run_scenario(&bench_scenario());
+    let recon = Reconstructor::new(CtpVocabulary::citysee()).with_sink(campaign.topology.sink());
+    let packets = campaign.merged.packet_ids().len() as u64;
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    let mut group = c.benchmark_group("columnar");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.throughput(Throughput::Elements(packets));
+    group.sample_size(10);
+    group.bench_function("legacy_seq", |b| {
+        b.iter(|| {
+            let merged = merge_logs(&campaign.collected);
+            black_box(recon.reconstruct_log(&merged))
+        })
+    });
+    group.bench_function("fused_seq", |b| {
+        b.iter(|| {
+            let store = merge_logs_store(&campaign.collected);
+            let index = ColumnarIndex::build(&store);
+            black_box(recon.reconstruct_store(&store, &index))
+        })
+    });
+    group.bench_function("legacy_par", |b| {
+        b.iter(|| {
+            let merged = merge_logs(&campaign.collected);
+            black_box(reconstruct_rayon(&recon, &merged))
+        })
+    });
+    group.bench_function("fused_par", |b| {
+        b.iter(|| black_box(reconstruct_fused(&recon, &campaign.collected, workers)))
+    });
+    // The rayon arena driver on a prebuilt store, to separate scheduler
+    // effects from merge/index cost.
+    let store = merge_logs_store(&campaign.collected);
+    let index = ColumnarIndex::build(&store);
+    group.bench_function("columnar_rayon_prebuilt", |b| {
+        b.iter(|| black_box(reconstruct_columnar(&recon, &store, &index)))
+    });
+    group.finish();
+}
+
 fn bench_diagnose(c: &mut Criterion) {
     let campaign = run_scenario(&bench_scenario());
     let recon = Reconstructor::new(CtpVocabulary::citysee()).with_sink(campaign.topology.sink());
@@ -192,6 +247,7 @@ criterion_group!(
     bench_per_packet,
     bench_reconstruct_drivers,
     bench_cached,
+    bench_columnar,
     bench_diagnose
 );
 criterion_main!(benches);

@@ -6,11 +6,17 @@
 //!
 //! * `REFILL_BENCH_OUT` — override the output path
 //! * `REFILL_BENCH_REPS` — measured repetitions per driver (default 3)
+//! * `REFILL_BENCH_WORKERS` — worker threads for the fused columnar
+//!   driver (default: available parallelism)
 
 use bench::synth_merge_logs;
+use bench::{BenchSnapshot, ScenarioInfo, StageBreakdownMs};
 use citysee::{run_scenario, Scenario};
-use eventlog::{merge_logs_kway, merge_logs_partitioned, merge_logs_recorded};
-use refill::parallel::{reconstruct_crossbeam, reconstruct_rayon, reconstruct_rayon_cached};
+use eventlog::columnar::ColumnarIndex;
+use eventlog::{merge_logs_kway, merge_logs_partitioned, merge_logs_recorded, merge_logs_store};
+use refill::parallel::{
+    reconstruct_crossbeam, reconstruct_fused, reconstruct_rayon, reconstruct_rayon_cached,
+};
 use refill::sigcache::SigCache;
 use refill::telemetry::{AtomicRecorder, Recorder, TelemetrySnapshot};
 use refill::trace::{CtpVocabulary, Reconstructor};
@@ -43,6 +49,14 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
+    let workers: usize = std::env::var("REFILL_BENCH_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
     let scenario = Scenario {
         days: 3,
         ..Scenario::small()
@@ -63,6 +77,17 @@ fn main() {
     let sequential_s = time_call(|| recon.reconstruct_log(&campaign.merged), reps);
     let rayon_s = time_call(|| reconstruct_rayon(&recon, &campaign.merged), reps);
     let crossbeam4_s = time_call(|| reconstruct_crossbeam(&recon, &campaign.merged, 4), reps);
+
+    // The fused columnar pipeline, end to end from the raw per-node logs:
+    // merge packs straight into the SoA store, the permutation index
+    // replaces grouping, and the size-aware work-stealing scheduler runs
+    // the packets. Comparable to `sequential`/`rayon` above, which pay for
+    // merge in a separate measurement — so fused is measured from the same
+    // starting line (collected logs) and still includes its own merge.
+    let fused_s = time_call(|| reconstruct_fused(&recon, &campaign.collected, workers), reps);
+    // Memory shape of the packed store itself.
+    let store = merge_logs_store(&campaign.collected);
+    let bytes_per_event = (store.heap_bytes() as f64) / (store.len().max(1) as f64);
 
     // Cached variants. Cold builds (and fills) a fresh cache every call —
     // the first-sight cost including canonicalization and template
@@ -99,6 +124,31 @@ fn main() {
         shared
     });
     let merge_recorded_s = time_call(|| merge_logs_recorded(&campaign.collected, &*recorder), reps);
+
+    // Instrumented fused pass, on its own recorder so the columnar stage
+    // spans (pack, schedule) and counters (steals, arena reuse) are not
+    // mixed into the legacy instrumented pass's figures.
+    let col_recorder = Arc::new(AtomicRecorder::new());
+    let col_recon = Reconstructor::new(CtpVocabulary::citysee())
+        .with_sink(campaign.topology.sink())
+        .with_recorder({
+            let shared: Arc<dyn Recorder> = Arc::clone(&col_recorder);
+            shared
+        });
+    let _ = time_call(
+        || reconstruct_fused(&col_recon, &campaign.collected, workers),
+        reps,
+    );
+    let col_passes = u64::from(reps) + 1;
+    let col_snap = col_recorder.snapshot();
+    let steal_count = col_snap.counter("sched_steals") / col_passes;
+    let arena_acquires = col_snap.counter("arena_acquires");
+    let arena_grows = col_snap.counter("arena_grows");
+    let arena_reuse_ratio = if arena_acquires > 0 {
+        1.0 - (arena_grows as f64) / (arena_acquires as f64)
+    } else {
+        0.0
+    };
 
     // Merge fan-in sweep on synthetic sorted logs: the sequential loser
     // tree vs the time-partitioned parallel front-end at the paper's
@@ -176,72 +226,84 @@ fn main() {
     };
 
     let pps = |secs: f64| packets as f64 / secs;
-    let snapshot = json!({
-        "bench": "reconstruction",
-        "generated": true,
-        "scenario": {
-            "name": scenario.name,
-            "nodes": scenario.nodes,
-            "days": scenario.days,
-            "seed": scenario.seed,
+    let snapshot = BenchSnapshot {
+        bench: "reconstruction".into(),
+        generated: true,
+        note: None,
+        scenario: ScenarioInfo {
+            name: scenario.name.clone(),
+            nodes: scenario.nodes as u64,
+            days: u64::from(scenario.days),
+            seed: scenario.seed,
         },
-        "packets": packets,
-        "merged_events": events,
-        "reps": reps,
-        "sequential_packets_per_sec": pps(sequential_s),
-        "rayon_packets_per_sec": pps(rayon_s),
-        "crossbeam4_packets_per_sec": pps(crossbeam4_s),
-        "cached_cold_packets_per_sec": pps(cached_cold_s),
-        "cached_warm_packets_per_sec": pps(cached_warm_s),
-        "cached_rayon_packets_per_sec": pps(cached_rayon_s),
-        "cache_hit_rate": cache_stats.hit_rate(),
-        "unique_signatures": cache_stats.unique_signatures(),
-        "cache_evictions": cache_stats.evictions,
-        "group_by_packet_ms": group_hashmap_s * 1e3,
-        "group_packet_index_ms": group_index_s * 1e3,
-        "merge_logs_recorded_ms": merge_recorded_s * 1e3,
-        "merge_kway_mevents_per_sec": merge_kway_eps / 1e6,
-        "merge_parallel_mevents_per_sec": merge_parallel_eps / 1e6,
-        "merge_partitions": merge_partitions,
-        "merge_by_k_ms": serde_json::Value::Object(merge_by_k),
-        "telemetry_packets_per_sec": pps(telemetry_warm_s),
-        "telemetry_overhead_ratio": telemetry_warm_s / cached_warm_s,
-        // Mean per-run stage time from the instrumented pass (includes the
-        // one cold run that fills the cache, hence transition > rehydrate
-        // even at a high hit rate).
-        "stage_breakdown_ms": {
-            "merge": stage_ms(&telemetry, "merge"),
-            "index": stage_ms(&telemetry, "index"),
-            "signature": stage_ms(&telemetry, "signature"),
-            "cache": stage_ms(&telemetry, "cache"),
-            "transition": stage_ms(&telemetry, "transition"),
-            "rehydrate": stage_ms(&telemetry, "rehydrate"),
+        packets: Some(packets as u64),
+        merged_events: Some(events as u64),
+        reps,
+        sequential_packets_per_sec: Some(pps(sequential_s)),
+        rayon_packets_per_sec: Some(pps(rayon_s)),
+        crossbeam4_packets_per_sec: Some(pps(crossbeam4_s)),
+        columnar_packets_per_sec: Some(pps(fused_s)),
+        bytes_per_event: Some(bytes_per_event),
+        steal_count: Some(steal_count),
+        arena_reuse_ratio: Some(arena_reuse_ratio),
+        cached_cold_packets_per_sec: Some(pps(cached_cold_s)),
+        cached_warm_packets_per_sec: Some(pps(cached_warm_s)),
+        cached_rayon_packets_per_sec: Some(pps(cached_rayon_s)),
+        cache_hit_rate: Some(cache_stats.hit_rate()),
+        unique_signatures: Some(cache_stats.unique_signatures()),
+        cache_evictions: Some(cache_stats.evictions),
+        group_by_packet_ms: Some(group_hashmap_s * 1e3),
+        group_packet_index_ms: Some(group_index_s * 1e3),
+        merge_logs_recorded_ms: Some(merge_recorded_s * 1e3),
+        merge_kway_mevents_per_sec: Some(merge_kway_eps / 1e6),
+        merge_parallel_mevents_per_sec: Some(merge_parallel_eps / 1e6),
+        merge_partitions: Some(merge_partitions),
+        merge_by_k_ms: Some(serde_json::Value::Object(merge_by_k)),
+        telemetry_packets_per_sec: Some(pps(telemetry_warm_s)),
+        telemetry_overhead_ratio: Some(telemetry_warm_s / cached_warm_s),
+        // Mean per-run stage time from the instrumented passes (the legacy
+        // pass includes the one cold run that fills the cache, hence
+        // transition > rehydrate even at a high hit rate).
+        stage_breakdown_ms: StageBreakdownMs {
+            merge: stage_ms(&telemetry, "merge"),
+            pack: stage_ms(&col_snap, "pack"),
+            index: stage_ms(&telemetry, "index"),
+            schedule: stage_ms(&col_snap, "schedule"),
+            signature: stage_ms(&telemetry, "signature"),
+            cache: stage_ms(&telemetry, "cache"),
+            transition: stage_ms(&telemetry, "transition"),
+            rehydrate: stage_ms(&telemetry, "rehydrate"),
         },
         // Totals over all instrumented passes; the warm passes rehydrate,
         // so these are dominated by the single cold pass.
-        "fsm_steps": telemetry.counter("fsm_steps"),
-        "fsm_jump_transitions": telemetry.counter("fsm_jump_transitions"),
-        "fsm_forced_steps": telemetry.counter("fsm_forced_steps"),
-        "stream_records": stream_records,
-        "stream_frames_decoded": stream_frames.decoded,
-        "stream_frames_corrupt": stream_frames.corrupt,
-        "stream_packets": stream_packets,
-        "stream_cold_records_per_sec": stream_records as f64 / stream_cold_s,
-        "stream_cold_packets_per_sec": stream_packets as f64 / stream_cold_s,
-        "peak_rss_kib": peak_rss_kib(),
-    });
+        fsm_steps: Some(telemetry.counter("fsm_steps")),
+        fsm_jump_transitions: Some(telemetry.counter("fsm_jump_transitions")),
+        fsm_forced_steps: Some(telemetry.counter("fsm_forced_steps")),
+        stream_records: Some(stream_records as u64),
+        stream_frames_decoded: Some(stream_frames.decoded),
+        stream_frames_corrupt: Some(stream_frames.corrupt),
+        stream_packets: Some(stream_packets as u64),
+        stream_cold_records_per_sec: Some(stream_records as f64 / stream_cold_s),
+        stream_cold_packets_per_sec: Some(stream_packets as f64 / stream_cold_s),
+        peak_rss_kib: peak_rss_kib(),
+    };
 
     let out = std::env::var("REFILL_BENCH_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_reconstruction.json").into()
     });
-    let mut body = serde_json::to_string_pretty(&snapshot).expect("snapshot serializes");
-    body.push('\n');
-    std::fs::write(&out, body).expect("write BENCH_reconstruction.json");
+    std::fs::write(&out, snapshot.to_json_pretty()).expect("write BENCH_reconstruction.json");
     eprintln!(
         "[bench] wrote {out}: {:.0} packets/sec sequential, {:.0} rayon, {:.0} crossbeam(4)",
         pps(sequential_s),
         pps(rayon_s),
         pps(crossbeam4_s),
+    );
+    eprintln!(
+        "[bench] columnar fused({workers}): {:.0} packets/sec, {:.1} bytes/event, \
+         {steal_count} steals/pass, {:.2} arena reuse",
+        pps(fused_s),
+        bytes_per_event,
+        arena_reuse_ratio,
     );
     eprintln!(
         "[bench] cached: {:.0} cold, {:.0} warm, {:.0} rayon warm ({:.1}% hit rate, {} unique shapes)",
@@ -269,4 +331,9 @@ fn main() {
         stream_packets as f64 / stream_cold_s,
         stream_frames.corrupt,
     );
+    // Keep the default driver honest: the fused path built its index off
+    // the packed store with zero intermediate merged Vec<Event>; assert
+    // the store round-trips the same packet population.
+    let col_index = ColumnarIndex::build(&store);
+    assert_eq!(col_index.len(), packets, "columnar index covers every packet");
 }

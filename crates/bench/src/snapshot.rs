@@ -1,0 +1,174 @@
+//! The schema of `BENCH_reconstruction.json`, in one place.
+//!
+//! The checked-in snapshot at the repo root and the writer in
+//! `src/bin/bench.rs` used to agree only by convention — a field added to
+//! the writer's `json!` block silently drifted from the placeholder until
+//! someone diffed them by hand. Both now go through [`BenchSnapshot`]:
+//! the writer constructs one and serializes it, and the schema test below
+//! parses the checked-in file with `deny_unknown_fields` (stale keys fail)
+//! and compares full key sets (missing keys fail). The schema cannot
+//! diverge without a test telling you which side moved.
+//!
+//! Every measured field is an `Option`: `None` serializes as `null`, which
+//! is what the placeholder carries in environments that cannot run the
+//! bench.
+
+use serde::{Deserialize, Serialize};
+
+/// The fixed scenario the snapshot was measured on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[serde(deny_unknown_fields, default)]
+pub struct ScenarioInfo {
+    pub name: String,
+    pub nodes: u64,
+    pub days: u64,
+    pub seed: u64,
+}
+
+/// Mean per-run stage times from the instrumented passes, in milliseconds.
+/// `merge`..`rehydrate` come from the legacy instrumented pass; `pack`
+/// (fused merge-and-pack) and `schedule` (batch planning) from the
+/// columnar one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[serde(deny_unknown_fields, default)]
+pub struct StageBreakdownMs {
+    pub merge: Option<f64>,
+    pub pack: Option<f64>,
+    pub index: Option<f64>,
+    pub schedule: Option<f64>,
+    pub signature: Option<f64>,
+    pub cache: Option<f64>,
+    pub transition: Option<f64>,
+    pub rehydrate: Option<f64>,
+}
+
+/// Everything `BENCH_reconstruction.json` holds. Field order here is the
+/// serialization order of the generated file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[serde(deny_unknown_fields, default)]
+pub struct BenchSnapshot {
+    pub bench: String,
+    pub generated: bool,
+    /// Present (with an explanation) when the numbers are placeholders.
+    pub note: Option<String>,
+    pub scenario: ScenarioInfo,
+    pub packets: Option<u64>,
+    pub merged_events: Option<u64>,
+    pub reps: u32,
+    pub sequential_packets_per_sec: Option<f64>,
+    pub rayon_packets_per_sec: Option<f64>,
+    pub crossbeam4_packets_per_sec: Option<f64>,
+    /// The fused columnar pipeline (packed merge → permutation index →
+    /// work-stealing reconstruction), end to end.
+    pub columnar_packets_per_sec: Option<f64>,
+    /// Heap bytes per event in the packed store (records + ts column,
+    /// capacity-based) — the SoA memory headline.
+    pub bytes_per_event: Option<f64>,
+    /// Mean successful batch steals per fused pass.
+    pub steal_count: Option<u64>,
+    /// 1 − arena grows / arena acquires over the fused passes: the share
+    /// of group unpacks served without reallocating.
+    pub arena_reuse_ratio: Option<f64>,
+    pub cached_cold_packets_per_sec: Option<f64>,
+    pub cached_warm_packets_per_sec: Option<f64>,
+    pub cached_rayon_packets_per_sec: Option<f64>,
+    pub cache_hit_rate: Option<f64>,
+    pub unique_signatures: Option<u64>,
+    pub cache_evictions: Option<u64>,
+    pub group_by_packet_ms: Option<f64>,
+    pub group_packet_index_ms: Option<f64>,
+    pub merge_logs_recorded_ms: Option<f64>,
+    pub merge_kway_mevents_per_sec: Option<f64>,
+    pub merge_parallel_mevents_per_sec: Option<f64>,
+    pub merge_partitions: Option<u64>,
+    /// Per-fan-in merge sweep; free-form because the K set may change.
+    pub merge_by_k_ms: Option<serde_json::Value>,
+    pub telemetry_packets_per_sec: Option<f64>,
+    pub telemetry_overhead_ratio: Option<f64>,
+    pub stage_breakdown_ms: StageBreakdownMs,
+    pub fsm_steps: Option<u64>,
+    pub fsm_jump_transitions: Option<u64>,
+    pub fsm_forced_steps: Option<u64>,
+    pub stream_records: Option<u64>,
+    pub stream_frames_decoded: Option<u64>,
+    pub stream_frames_corrupt: Option<u64>,
+    pub stream_packets: Option<u64>,
+    pub stream_cold_records_per_sec: Option<f64>,
+    pub stream_cold_packets_per_sec: Option<f64>,
+    pub peak_rss_kib: Option<u64>,
+}
+
+impl BenchSnapshot {
+    /// Serialize with a trailing newline, ready to write to disk.
+    pub fn to_json_pretty(&self) -> String {
+        let mut body = serde_json::to_string_pretty(self).expect("snapshot serializes");
+        body.push('\n');
+        body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checked_in() -> String {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_reconstruction.json");
+        std::fs::read_to_string(path).expect("checked-in snapshot exists")
+    }
+
+    fn keys(v: &serde_json::Value) -> Vec<String> {
+        v.as_object()
+            .expect("object")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// The checked-in snapshot and the writer schema cannot diverge:
+    /// parsing with `deny_unknown_fields` rejects keys the schema dropped,
+    /// and key-set equality (serde_json maps iterate sorted) rejects keys
+    /// the file is missing — in both directions, nested objects included.
+    #[test]
+    fn checked_in_snapshot_matches_schema() {
+        let body = checked_in();
+        let snap: BenchSnapshot =
+            serde_json::from_str(&body).expect("checked-in snapshot parses against BenchSnapshot");
+        let raw: serde_json::Value = serde_json::from_str(&body).unwrap();
+        let ser = serde_json::to_value(&snap).unwrap();
+        assert_eq!(keys(&raw), keys(&ser), "top-level keys drifted");
+        assert_eq!(keys(&raw["scenario"]), keys(&ser["scenario"]));
+        assert_eq!(
+            keys(&raw["stage_breakdown_ms"]),
+            keys(&ser["stage_breakdown_ms"])
+        );
+    }
+
+    /// The columnar fields are part of the schema and of the checked-in
+    /// file (null until a build environment regenerates them).
+    #[test]
+    fn snapshot_carries_columnar_fields() {
+        let raw: serde_json::Value = serde_json::from_str(&checked_in()).unwrap();
+        for key in [
+            "columnar_packets_per_sec",
+            "bytes_per_event",
+            "steal_count",
+            "arena_reuse_ratio",
+        ] {
+            assert!(
+                raw.get(key).is_some(),
+                "checked-in snapshot is missing {key}"
+            );
+        }
+        assert!(raw["stage_breakdown_ms"].get("pack").is_some());
+        assert!(raw["stage_breakdown_ms"].get("schedule").is_some());
+    }
+
+    /// Round trip: a default snapshot survives serialize → parse.
+    #[test]
+    fn default_snapshot_roundtrips() {
+        let snap = BenchSnapshot::default();
+        let body = snap.to_json_pretty();
+        let back: BenchSnapshot = serde_json::from_str(&body).unwrap();
+        assert_eq!(snap, back);
+    }
+}

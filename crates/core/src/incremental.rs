@@ -14,6 +14,7 @@
 
 use crate::sigcache::{CacheStats, SigCache};
 use crate::trace::{PacketReport, Reconstructor};
+use eventlog::columnar::PackedEvent;
 use eventlog::logger::LocalLog;
 use eventlog::{Event, PacketId};
 use rayon::prelude::*;
@@ -26,8 +27,12 @@ use std::sync::Arc;
 pub struct IncrementalReconstructor {
     recon: Reconstructor,
     /// Per-packet events in ingestion order (per-node subsequences are in
-    /// recording order by the ingestion contract).
-    events: FxHashMap<PacketId, Vec<Event>>,
+    /// recording order by the ingestion contract), held packed: long-lived
+    /// accumulation state is where the 16-byte [`PackedEvent`] records pay
+    /// most — a streaming run keeps every packet's history resident for
+    /// its whole window lifetime. Groups are unpacked into a per-refresh
+    /// scratch buffer only at reconstruction time.
+    events: FxHashMap<PacketId, Vec<PackedEvent>>,
     dirty: FxHashSet<PacketId>,
     /// Ordered by packet id so report iteration is deterministic without a
     /// per-call sort (streaming consumers iterate this after every window).
@@ -85,7 +90,10 @@ impl IncrementalReconstructor {
     /// Ingest one node's log batch (entries in recording order).
     pub fn ingest_log(&mut self, log: &LocalLog) {
         for e in log.events() {
-            self.events.entry(e.packet).or_default().push(*e);
+            self.events
+                .entry(e.packet)
+                .or_default()
+                .push(PackedEvent::pack(e));
             self.dirty.insert(e.packet);
         }
     }
@@ -94,9 +102,21 @@ impl IncrementalReconstructor {
     /// caller).
     pub fn ingest_events(&mut self, events: impl IntoIterator<Item = Event>) {
         for e in events {
-            self.events.entry(e.packet).or_default().push(e);
+            self.events
+                .entry(e.packet)
+                .or_default()
+                .push(PackedEvent::pack(&e));
             self.dirty.insert(e.packet);
         }
+    }
+
+    /// Heap footprint of the packed per-packet event state, in bytes —
+    /// the resident cost a streaming run carries between refreshes.
+    pub fn packed_bytes(&self) -> usize {
+        self.events
+            .values()
+            .map(|v| v.capacity() * std::mem::size_of::<PackedEvent>())
+            .sum()
     }
 
     /// Packets with new evidence since the last refresh.
@@ -165,12 +185,20 @@ impl IncrementalReconstructor {
         let recon = &self.recon;
         let events = &self.events;
         let cache = &self.cache;
-        let reconstruct =
-            |id: &PacketId| (*id, recon.reconstruct_packet_cached(*id, &events[id], cache));
+        // Unpack each group into a reused scratch buffer: one per call on
+        // the sequential path, one per rayon worker on the parallel path.
+        let reconstruct = |scratch: &mut Vec<Event>, id: &PacketId| {
+            scratch.clear();
+            scratch.extend(events[id].iter().map(PackedEvent::unpack));
+            (*id, recon.reconstruct_packet_cached(*id, scratch, cache))
+        };
         let updated: Vec<(PacketId, PacketReport)> = if ids.len() < PAR_MIN_IDS {
-            ids.iter().map(reconstruct).collect()
+            let mut scratch = Vec::new();
+            ids.iter().map(|id| reconstruct(&mut scratch, id)).collect()
         } else {
-            ids.par_iter().map(reconstruct).collect()
+            ids.par_iter()
+                .map_init(Vec::new, |scratch, id| reconstruct(scratch, id))
+                .collect()
         };
         for (id, report) in updated {
             self.reconstructed_len.insert(id, self.events[&id].len());
@@ -292,6 +320,21 @@ mod tests {
         inc.refresh();
         let later = inc.report(p).unwrap().flow.to_string();
         assert_eq!(later, "1-2 trans, [1-2 recv], [2-3 trans], 2-3 recv");
+    }
+
+    #[test]
+    fn packed_bytes_tracks_sixteen_byte_records() {
+        let mut inc =
+            IncrementalReconstructor::new(Reconstructor::new(CtpVocabulary::table2()));
+        assert_eq!(inc.packed_bytes(), 0);
+        let logs = chain_logs(4);
+        for log in &logs {
+            inc.ingest_log(log);
+        }
+        let events: usize = inc.events.values().map(Vec::len).sum();
+        // Capacity-based accounting: at least the packed payload, and the
+        // payload is exactly 16 bytes per event.
+        assert!(inc.packed_bytes() >= events * 16);
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod fsm;
 pub mod incremental;
 pub mod net;
 pub mod parallel;
+pub mod schedule;
 pub mod score;
 pub mod sigcache;
 pub mod trace;
@@ -65,6 +66,7 @@ pub use flow::{EventFlow, FlowEntry};
 pub use incremental::IncrementalReconstructor;
 pub use fsm::{FsmBuilder, FsmTemplate, StateId};
 pub use net::{ConnectedNet, EngineId, NetWarning, RunStats};
+pub use schedule::reconstruct_work_stealing;
 pub use sigcache::{CacheStats, SigCache};
 pub use trace::{
     CtpVocabulary, FlowSignature, PacketReport, ReconOptions, Reconstructor, ReportTemplate,

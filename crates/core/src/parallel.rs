@@ -8,7 +8,13 @@
 //! * [`reconstruct_rayon`] — the idiomatic `par_iter` pipeline (default),
 //! * [`reconstruct_crossbeam`] — scoped worker threads, each filling a
 //!   disjoint contiguous chunk of the output, kept as the comparison point
-//!   the bench suite measures against Rayon's work-stealing.
+//!   the bench suite measures against Rayon's work-stealing,
+//! * [`reconstruct_columnar`] / [`reconstruct_fused`] — the packed
+//!   [`eventlog::EventStore`] path: groups are row-position slices into
+//!   the store, unpacked through per-worker [`ScratchArena`]s.
+//!   `reconstruct_fused` runs merge → index → reconstruct with no
+//!   intermediate merged `Vec<Event>` at all, scheduled by the size-aware
+//!   work-stealing batcher in [`crate::schedule`].
 //!
 //! Both drivers borrow packet groups as `&[Event]` slices from one shared
 //! [`eventlog::PacketIndex`] — grouping sorts the merged log exactly once
@@ -19,9 +25,11 @@
 //! test suite verifies — determinism is a core invariant (DESIGN.md §5).
 
 use crate::diagnose::{Diagnoser, Diagnosis};
+use crate::schedule::reconstruct_work_stealing;
 use crate::sigcache::SigCache;
 use crate::trace::{PacketReport, Reconstructor};
-use eventlog::{MergedLog, PacketId, PacketIndex, SimTime};
+use eventlog::columnar::{ColumnarIndex, EventStore, ScratchArena};
+use eventlog::{merge_logs_store_recorded, LocalLog, MergedLog, PacketId, PacketIndex, SimTime};
 use rayon::prelude::*;
 use refill_telemetry::{Hist, Recorder};
 use std::time::{Duration, Instant};
@@ -185,6 +193,70 @@ pub fn reconstruct_crossbeam_cached(
         .collect()
 }
 
+/// Rayon driver over a columnar store: each rayon worker owns one
+/// grow-only [`ScratchArena`] (via `map_init`), so unpacking a group
+/// costs no allocation once the arena has grown to the largest group the
+/// worker has seen.
+pub fn reconstruct_columnar(
+    recon: &Reconstructor,
+    store: &EventStore,
+    index: &ColumnarIndex,
+) -> Vec<PacketReport> {
+    (0..index.len())
+        .into_par_iter()
+        .map_init(ScratchArena::new, |scratch, i| {
+            let (id, positions) = index.group(i);
+            recon.reconstruct_group(id, store, positions, scratch)
+        })
+        .collect()
+}
+
+/// [`reconstruct_columnar`] through a shared signature cache.
+pub fn reconstruct_columnar_cached(
+    recon: &Reconstructor,
+    store: &EventStore,
+    index: &ColumnarIndex,
+    cache: &SigCache,
+) -> Vec<PacketReport> {
+    (0..index.len())
+        .into_par_iter()
+        .map_init(ScratchArena::new, |scratch, i| {
+            let (id, positions) = index.group(i);
+            recon.reconstruct_group_cached(id, store, positions, scratch, cache)
+        })
+        .collect()
+}
+
+/// The fused columnar pipeline, end to end: merge the local logs straight
+/// into a packed [`EventStore`] (no intermediate merged `Vec<Event>`),
+/// build the permutation index over it, and reconstruct with the
+/// size-aware work-stealing scheduler. This is the default full-throughput
+/// driver; output is byte-identical to
+/// `reconstruct_log(&merge_logs(logs))` (property-tested).
+pub fn reconstruct_fused(
+    recon: &Reconstructor,
+    logs: &[LocalLog],
+    workers: usize,
+) -> Vec<PacketReport> {
+    let rec = &**recon.recorder();
+    let store = merge_logs_store_recorded(logs, rec);
+    let index = ColumnarIndex::build_recorded(&store, rec);
+    reconstruct_work_stealing(recon, &store, &index, workers, None)
+}
+
+/// [`reconstruct_fused`] through a shared signature cache.
+pub fn reconstruct_fused_cached(
+    recon: &Reconstructor,
+    logs: &[LocalLog],
+    workers: usize,
+    cache: &SigCache,
+) -> Vec<PacketReport> {
+    let rec = &**recon.recorder();
+    let store = merge_logs_store_recorded(logs, rec);
+    let index = ColumnarIndex::build_recorded(&store, rec);
+    reconstruct_work_stealing(recon, &store, &index, workers, Some(cache))
+}
+
 /// Reconstruct and diagnose in one parallel pass.
 pub fn reconstruct_and_diagnose(
     recon: &Reconstructor,
@@ -215,9 +287,9 @@ mod tests {
         NodeId(i)
     }
 
-    /// A small multi-packet merged log: 20 packets over a 3-node chain with
+    /// A small multi-packet log set: 20 packets over a 3-node chain with
     /// assorted losses.
-    fn sample_log() -> MergedLog {
+    fn sample_logs() -> Vec<LocalLog> {
         let mut n1 = Vec::new();
         let mut n2 = Vec::new();
         let mut n3 = Vec::new();
@@ -235,11 +307,15 @@ mod tests {
                 n3.push(Event::new(n(3), EventKind::Recv { from: n(2) }, p));
             }
         }
-        merge_logs(&[
+        vec![
             LocalLog::from_events(n(1), n1),
             LocalLog::from_events(n(2), n2),
             LocalLog::from_events(n(3), n3),
-        ])
+        ]
+    }
+
+    fn sample_log() -> MergedLog {
+        merge_logs(&sample_logs())
     }
 
     fn flows(reports: &[PacketReport]) -> Vec<String> {
@@ -327,6 +403,39 @@ mod tests {
             assert_eq!(seq, cached, "workers={workers}");
             assert_eq!(cache.stats().lookups(), 20, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn columnar_rayon_matches_legacy() {
+        let recon = Reconstructor::new(CtpVocabulary::table2());
+        let logs = sample_logs();
+        let seq = recon.reconstruct_log(&merge_logs(&logs));
+        let store = eventlog::merge_logs_store(&logs);
+        let index = ColumnarIndex::build(&store);
+        assert_eq!(seq, reconstruct_columnar(&recon, &store, &index));
+        let cache = SigCache::default();
+        assert_eq!(
+            seq,
+            reconstruct_columnar_cached(&recon, &store, &index, &cache)
+        );
+        assert_eq!(cache.stats().lookups(), 20);
+    }
+
+    #[test]
+    fn fused_pipeline_matches_legacy() {
+        let recon = Reconstructor::new(CtpVocabulary::table2());
+        let logs = sample_logs();
+        let seq = recon.reconstruct_log(&merge_logs(&logs));
+        for workers in [1, 2, 4] {
+            assert_eq!(seq, reconstruct_fused(&recon, &logs, workers), "workers={workers}");
+            let cache = SigCache::default();
+            assert_eq!(
+                seq,
+                reconstruct_fused_cached(&recon, &logs, workers, &cache),
+                "workers={workers} cached"
+            );
+        }
+        assert!(reconstruct_fused(&recon, &[], 4).is_empty());
     }
 
     #[test]

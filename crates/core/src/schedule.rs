@@ -1,0 +1,324 @@
+//! Adaptive work-stealing scheduler for columnar reconstruction.
+//!
+//! The fixed-chunk crossbeam driver in [`crate::parallel`] splits the
+//! output into `n / workers` contiguous slices — fine when packets cost
+//! about the same, but one 10k-event packet lands in somebody's chunk and
+//! every other worker goes idle while that chunk drains. The columnar
+//! index knows each group's event count up front, so this module plans
+//! **size-aware batches** instead: contiguous runs of groups closed when
+//! their accumulated event count reaches a target derived from the total
+//! volume ([`BATCHES_PER_WORKER`] batches per worker, but never smaller
+//! than [`MIN_BATCH_EVENTS`] events, so tiny logs don't shatter into
+//! per-packet crumbs).
+//!
+//! Batches are dealt round-robin onto per-worker LIFO deques
+//! ([`crossbeam::deque`]); a worker drains its own deque and then steals
+//! from the others, so stragglers shed their queued batches to whoever
+//! finishes first. Each batch owns a disjoint contiguous slice of the
+//! output (carved with `split_at_mut`), so there is no channel, no mutex,
+//! and no post-pass reordering — output order falls out of the index's
+//! packet-id sort exactly like the fixed-chunk drivers.
+//!
+//! Telemetry: planning runs under [`Stage::Schedule`]; batch shape goes to
+//! [`Hist::BatchPackets`]/[`Hist::BatchEvents`]; successful steals are
+//! counted in [`Counter::SchedSteals`] so the bench can report how much
+//! rebalancing actually happened.
+
+use crate::sigcache::SigCache;
+use crate::trace::{PacketReport, Reconstructor};
+use eventlog::columnar::{ColumnarIndex, EventStore, ScratchArena};
+use refill_telemetry::{Counter, Hist, Stage, StageTimer};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crossbeam::deque::{Steal, Stealer, Worker as Deque};
+
+/// Planning granularity: aim for this many batches per worker, so the
+/// deques hold enough slack for stealing to rebalance uneven batches.
+const BATCHES_PER_WORKER: usize = 8;
+
+/// Floor on the per-batch event target: below this, per-batch overhead
+/// (deque traffic, arena churn) outweighs any balance gain.
+const MIN_BATCH_EVENTS: usize = 256;
+
+/// One planned unit of work: a contiguous run of index groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Batch {
+    /// Index of the first group in the run.
+    first_group: usize,
+    /// Number of groups in the run.
+    groups: usize,
+    /// Total packed events across the run (diagnostic / telemetry).
+    events: usize,
+}
+
+/// Split the index into contiguous batches of roughly equal *event*
+/// volume. A batch closes as soon as its accumulated events reach the
+/// target, so a single huge group becomes a batch of its own instead of
+/// dragging neighbors along.
+fn plan_batches(index: &ColumnarIndex, workers: usize) -> Vec<Batch> {
+    let target = (index.event_count() / (workers * BATCHES_PER_WORKER).max(1))
+        .max(MIN_BATCH_EVENTS);
+    let mut batches = Vec::new();
+    let mut first = 0usize;
+    let mut acc = 0usize;
+    for i in 0..index.len() {
+        acc += index.group_len(i);
+        if acc >= target {
+            batches.push(Batch {
+                first_group: first,
+                groups: i + 1 - first,
+                events: acc,
+            });
+            first = i + 1;
+            acc = 0;
+        }
+    }
+    if first < index.len() {
+        batches.push(Batch {
+            first_group: first,
+            groups: index.len() - first,
+            events: acc,
+        });
+    }
+    batches
+}
+
+/// A batch bound to its disjoint slice of the output vector.
+struct WorkItem<'a> {
+    first_group: usize,
+    out: &'a mut [Option<PacketReport>],
+}
+
+/// Reconstruct every group of a columnar index with `workers` scoped
+/// threads and size-aware work stealing. With `cache` the per-group path
+/// is [`Reconstructor::reconstruct_group_cached`]; without it, the direct
+/// [`Reconstructor::reconstruct_group`]. Output is identical to the
+/// sequential [`Reconstructor::reconstruct_store`] (tested).
+pub fn reconstruct_work_stealing(
+    recon: &Reconstructor,
+    store: &EventStore,
+    index: &ColumnarIndex,
+    workers: usize,
+    cache: Option<&SigCache>,
+) -> Vec<PacketReport> {
+    let rec = &**recon.recorder();
+    let n = index.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+
+    let batches = {
+        let _span = StageTimer::start(rec, Stage::Schedule);
+        plan_batches(index, workers)
+    };
+    if rec.enabled() {
+        rec.add(Counter::SchedBatches, batches.len() as u64);
+        for b in &batches {
+            rec.observe(Hist::BatchPackets, b.groups as u64);
+            rec.observe(Hist::BatchEvents, b.events as u64);
+        }
+    }
+
+    let mut slots: Vec<Option<PacketReport>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+
+    // Carve the output into per-batch slices and deal them round-robin
+    // onto the workers' deques.
+    let deques: Vec<Deque<WorkItem>> = (0..workers).map(|_| Deque::new_lifo()).collect();
+    let stealers: Vec<Stealer<WorkItem>> = deques.iter().map(Deque::stealer).collect();
+    {
+        let mut rest: &mut [Option<PacketReport>] = &mut slots;
+        for (i, b) in batches.iter().enumerate() {
+            let (out, tail) = rest.split_at_mut(b.groups);
+            rest = tail;
+            deques[i % workers].push(WorkItem {
+                first_group: b.first_group,
+                out,
+            });
+        }
+        debug_assert!(rest.is_empty(), "batches must cover every group");
+    }
+
+    let steals = AtomicU64::new(0);
+    let t_spawn = rec.enabled().then(Instant::now);
+
+    crossbeam::thread::scope(|scope| {
+        for (me, deque) in deques.into_iter().enumerate() {
+            let stealers = &stealers;
+            let steals = &steals;
+            scope.spawn(move |_| {
+                let waited = t_spawn.map(|t0| t0.elapsed());
+                let t_busy = waited.map(|_| Instant::now());
+                let mut scratch = ScratchArena::new();
+                let mut packets = 0usize;
+                loop {
+                    let item = deque
+                        .pop()
+                        .or_else(|| steal_item(stealers, me, steals));
+                    let Some(item) = item else { break };
+                    packets += item.out.len();
+                    for (j, slot) in item.out.iter_mut().enumerate() {
+                        let (id, positions) = index.group(item.first_group + j);
+                        *slot = Some(match cache {
+                            Some(cache) => recon.reconstruct_group_cached(
+                                id,
+                                store,
+                                positions,
+                                &mut scratch,
+                                cache,
+                            ),
+                            None => recon.reconstruct_group(id, store, positions, &mut scratch),
+                        });
+                    }
+                }
+                scratch.record(rec);
+                if let (Some(waited), Some(t_busy)) = (waited, t_busy) {
+                    rec.observe(Hist::QueueWaitNs, dur_ns(waited));
+                    rec.observe(Hist::WorkerBusyNs, dur_ns(t_busy.elapsed()));
+                    rec.observe(Hist::WorkerPackets, packets as u64);
+                }
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+
+    rec.add(Counter::SchedSteals, steals.load(Ordering::Relaxed));
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled"))
+        .collect()
+}
+
+/// Take one batch from any other worker's deque. Loops while any stealer
+/// reports `Retry` (a concurrent operation raced us); returns `None` only
+/// once every foreign deque is observed empty.
+fn steal_item<'a, 'b>(
+    stealers: &'b [Stealer<WorkItem<'a>>],
+    me: usize,
+    steals: &'b AtomicU64,
+) -> Option<WorkItem<'a>> {
+    loop {
+        let mut retry = false;
+        for (i, s) in stealers.iter().enumerate() {
+            if i == me {
+                continue;
+            }
+            match s.steal() {
+                Steal::Success(item) => {
+                    steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(item);
+                }
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+    }
+}
+
+/// Clamp a duration to nanosecond counter range.
+fn dur_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::CtpVocabulary;
+    use eventlog::{merge_logs_store, Event, EventKind, LocalLog, PacketId};
+    use netsim::NodeId;
+    use refill_telemetry::{AtomicRecorder, Recorder};
+    use std::sync::Arc;
+
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Deliberately skewed workload: one packet with a long retransmission
+    /// storm plus many singletons, so fixed chunking would straggle.
+    fn skewed_logs() -> Vec<LocalLog> {
+        let mut n1 = Vec::new();
+        let big = PacketId::new(n(1), 0);
+        for _ in 0..200 {
+            n1.push(Event::new(n(1), EventKind::Trans { to: n(2) }, big));
+        }
+        for s in 1..300u32 {
+            let p = PacketId::new(n(1), s);
+            n1.push(Event::new(n(1), EventKind::Trans { to: n(2) }, p));
+        }
+        vec![LocalLog::from_events(n(1), n1)]
+    }
+
+    #[test]
+    fn batches_cover_all_groups_exactly_once() {
+        let store = merge_logs_store(&skewed_logs());
+        let index = ColumnarIndex::build(&store);
+        let batches = plan_batches(&index, 4);
+        assert!(!batches.is_empty());
+        let mut next = 0usize;
+        let mut events = 0usize;
+        for b in &batches {
+            assert_eq!(b.first_group, next, "batches must be contiguous");
+            assert!(b.groups > 0);
+            next += b.groups;
+            events += b.events;
+        }
+        assert_eq!(next, index.len());
+        assert_eq!(events, index.event_count());
+    }
+
+    #[test]
+    fn huge_group_gets_its_own_batch() {
+        let store = merge_logs_store(&skewed_logs());
+        let index = ColumnarIndex::build(&store);
+        let batches = plan_batches(&index, 4);
+        // The 200-event group closes its batch on the spot: no batch mixes
+        // it with more groups than the accumulator had already taken.
+        let big_batch = batches
+            .iter()
+            .find(|b| (b.first_group..b.first_group + b.groups).any(|g| index.group_len(g) == 200))
+            .expect("the big group is planned");
+        assert!(big_batch.events >= 200);
+    }
+
+    #[test]
+    fn work_stealing_matches_sequential_across_worker_counts() {
+        let recon = Reconstructor::new(CtpVocabulary::table2());
+        let store = merge_logs_store(&skewed_logs());
+        let index = ColumnarIndex::build(&store);
+        let seq = recon.reconstruct_store(&store, &index);
+        for workers in [1, 2, 4, 7] {
+            let ws = reconstruct_work_stealing(&recon, &store, &index, workers, None);
+            assert_eq!(seq, ws, "workers={workers}");
+            let cache = SigCache::default();
+            let wsc = reconstruct_work_stealing(&recon, &store, &index, workers, Some(&cache));
+            assert_eq!(seq, wsc, "workers={workers} cached");
+        }
+    }
+
+    #[test]
+    fn scheduler_telemetry_is_recorded() {
+        let recorder = Arc::new(AtomicRecorder::new());
+        let recon = Reconstructor::new(CtpVocabulary::table2()).with_recorder(recorder.clone());
+        let store = merge_logs_store(&skewed_logs());
+        let index = ColumnarIndex::build(&store);
+        let _ = reconstruct_work_stealing(&recon, &store, &index, 4, None);
+        assert!(recorder.counter_value(Counter::SchedBatches) > 0);
+        let snap = recorder.snapshot();
+        assert!(snap.stage("schedule").is_some());
+        assert!(snap.histogram("batch_events").is_some());
+    }
+
+    #[test]
+    fn empty_index_yields_no_reports() {
+        let recon = Reconstructor::new(CtpVocabulary::table2());
+        let store = merge_logs_store(&[]);
+        let index = ColumnarIndex::build(&store);
+        assert!(reconstruct_work_stealing(&recon, &store, &index, 4, None).is_empty());
+    }
+}

@@ -1,0 +1,652 @@
+//! Columnar event storage: packed 16-byte records in structure-of-arrays
+//! columns.
+//!
+//! The reconstruction hot loop is memory-bound: it walks millions of tiny
+//! [`Event`] values per CitySee day, and the enum-of-structs layout spends
+//! its cache lines on niche bytes and padding. This module stores the same
+//! information as two parallel columns:
+//!
+//! * a [`PackedEvent`] column — one fixed 16-byte record per event holding
+//!   the recording node, the peer (for two-party kinds), the packet id, a
+//!   dense u8 kind code (reusing [`EventKind::code`]), a flags byte, and a
+//!   u16 spill half used by `Custom` payloads;
+//! * a `ts` column — the entry's local timestamp, with missing timestamps
+//!   encoded as [`TS_NONE`] (`u64::MAX`, reserved: real collector clocks
+//!   never reach it, and [`EventStore::push`] debug-asserts the reservation).
+//!
+//! The conversion `Event ⇄ PackedEvent` is lossless (property-tested over
+//! every [`EventKind`] variant), so the packed store is not a cache of the
+//! AoS representation — it *is* the representation, and the legacy path
+//! survives only as the test oracle.
+//!
+//! On top of the columns:
+//!
+//! * [`ColumnarIndex`] — the packet grouping as a permutation plus range
+//!   table over the store. Where `PacketIndex` copies every event into a
+//!   sorted arena, this sorts 4-byte row indices and never copies a record.
+//! * [`ScratchArena`] — a per-worker bump allocation for unpacking one
+//!   group at a time. The buffer is grow-only, so after warm-up a worker
+//!   reconstructs arbitrarily many packets with zero allocations; the
+//!   acquire/grow counters feed the `arena_acquires` / `arena_grows`
+//!   telemetry (their ratio is the arena-reuse figure in the bench
+//!   snapshot).
+
+use crate::event::{Event, EventKind, PacketId};
+use crate::logger::LogEntry;
+use crate::merge::MergedLog;
+use netsim::NodeId;
+use refill_telemetry::{Counter, Hist, Recorder, Stage, StageTimer};
+
+/// Reserved timestamp meaning "this entry carried no local timestamp".
+///
+/// `u64::MAX` is unreachable for real collector clocks (nanoseconds since
+/// the epoch stay below `2^63` for centuries), so the `ts` column can stay
+/// a flat `u64` array instead of an `Option<u64>` column at twice the
+/// width.
+pub const TS_NONE: u64 = u64::MAX;
+
+/// Flag bit: the record's peer half is meaningful (the kind is a two-party
+/// operation).
+const FLAG_HAS_PEER: u32 = 1;
+
+/// One event as a fixed 16-byte record.
+///
+/// Layout (little-endian field order within each u32):
+///
+/// ```text
+/// word 0  who   [ node:u16 | peer:u16            ]
+/// word 1  tag   [ origin:u16 | code:u8 | flags:u8 ]
+/// word 2  seqno [ seqno:u32                       ]
+/// word 3  arg   [ custom:u16 | spill:u16          ]
+/// ```
+///
+/// `peer` is zero for one-party kinds (and `flags` bit 0 is clear, so the
+/// two states "no peer" and "peer = node 0" stay distinct). `custom` is the
+/// `EventKind::Custom` payload and zero elsewhere; the `spill` half is
+/// reserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(C)]
+pub struct PackedEvent {
+    who: u32,
+    tag: u32,
+    seqno: u32,
+    arg: u32,
+}
+
+const _: () = assert!(std::mem::size_of::<PackedEvent>() == 16);
+const _: () = assert!(std::mem::align_of::<PackedEvent>() == 4);
+
+impl PackedEvent {
+    /// Pack an event. Lossless: [`PackedEvent::unpack`] restores it
+    /// exactly.
+    pub fn pack(e: &Event) -> PackedEvent {
+        let (peer, flags) = match e.kind.peer() {
+            Some(p) => (p.0, FLAG_HAS_PEER),
+            None => (0, 0),
+        };
+        let custom = match e.kind {
+            EventKind::Custom(c) => c,
+            _ => 0,
+        };
+        PackedEvent {
+            who: u32::from(e.node.0) | (u32::from(peer) << 16),
+            tag: u32::from(e.packet.origin.0) | (u32::from(e.kind.code()) << 16) | (flags << 24),
+            seqno: e.packet.seqno,
+            arg: u32::from(custom),
+        }
+    }
+
+    /// The recording node (`L`).
+    pub fn node(&self) -> NodeId {
+        NodeId(self.who as u16)
+    }
+
+    /// The peer node of two-party kinds, `None` for local events.
+    pub fn peer(&self) -> Option<NodeId> {
+        if (self.tag >> 24) & FLAG_HAS_PEER != 0 {
+            Some(NodeId((self.who >> 16) as u16))
+        } else {
+            None
+        }
+    }
+
+    /// The dense kind code ([`EventKind::code`]).
+    pub fn code(&self) -> u8 {
+        (self.tag >> 16) as u8
+    }
+
+    /// The `Custom` payload half (zero for non-custom kinds).
+    pub fn custom(&self) -> u16 {
+        self.arg as u16
+    }
+
+    /// The packet identity.
+    pub fn packet(&self) -> PacketId {
+        PacketId::new(NodeId(self.tag as u16), self.seqno)
+    }
+
+    /// The packet identity as one sortable u64 (`origin` in the high bits,
+    /// `seqno` in the low bits — the same order as `PacketId`'s derived
+    /// `Ord`).
+    pub fn packet_key(&self) -> u64 {
+        (u64::from(self.tag as u16) << 32) | u64::from(self.seqno)
+    }
+
+    /// The event kind, reassembled from code, peer half, and payload half.
+    pub fn kind(&self) -> EventKind {
+        EventKind::from_parts(self.code(), NodeId((self.who >> 16) as u16), self.custom())
+            .expect("a PackedEvent only ever holds codes EventKind::code emits")
+    }
+
+    /// Unpack back into the AoS representation.
+    pub fn unpack(&self) -> Event {
+        Event {
+            node: self.node(),
+            kind: self.kind(),
+            packet: self.packet(),
+        }
+    }
+}
+
+/// The packed structure-of-arrays event store: a [`PackedEvent`] column and
+/// a parallel `ts` column, in merged order.
+#[derive(Debug, Clone, Default)]
+pub struct EventStore {
+    recs: Vec<PackedEvent>,
+    ts: Vec<u64>,
+}
+
+impl EventStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        EventStore::default()
+    }
+
+    /// An empty store with room for `n` events in both columns.
+    pub fn with_capacity(n: usize) -> Self {
+        EventStore {
+            recs: Vec::with_capacity(n),
+            ts: Vec::with_capacity(n),
+        }
+    }
+
+    /// Pack and append one event with its optional local timestamp.
+    ///
+    /// # Panics
+    /// Debug-asserts that a present timestamp is not the reserved
+    /// [`TS_NONE`] sentinel.
+    pub fn push(&mut self, event: &Event, local_ts: Option<u64>) {
+        debug_assert!(local_ts != Some(TS_NONE), "u64::MAX is reserved for missing timestamps");
+        self.recs.push(PackedEvent::pack(event));
+        self.ts.push(local_ts.unwrap_or(TS_NONE));
+    }
+
+    /// Append one log entry (event + optional timestamp).
+    pub fn push_entry(&mut self, entry: &LogEntry) {
+        self.push(&entry.event, entry.local_ts);
+    }
+
+    /// Append an already-packed record.
+    pub fn push_packed(&mut self, rec: PackedEvent, ts: u64) {
+        self.recs.push(rec);
+        self.ts.push(ts);
+    }
+
+    /// Append another store's columns after this one's.
+    pub fn append(&mut self, other: &EventStore) {
+        self.recs.extend_from_slice(&other.recs);
+        self.ts.extend_from_slice(&other.ts);
+    }
+
+    /// Drop all rows, keeping both columns' capacity.
+    pub fn clear(&mut self) {
+        self.recs.clear();
+        self.ts.clear();
+    }
+
+    /// Number of stored events.
+    pub fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// True if the store holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.recs.is_empty()
+    }
+
+    /// The packed record column.
+    pub fn records(&self) -> &[PackedEvent] {
+        &self.recs
+    }
+
+    /// The raw timestamp column ([`TS_NONE`] marks missing entries).
+    pub fn ts_column(&self) -> &[u64] {
+        &self.ts
+    }
+
+    /// Row `i`'s local timestamp, if it had one.
+    pub fn ts(&self, i: usize) -> Option<u64> {
+        let t = self.ts[i];
+        (t != TS_NONE).then_some(t)
+    }
+
+    /// Row `i` unpacked into an [`Event`].
+    pub fn event(&self, i: usize) -> Event {
+        self.recs[i].unpack()
+    }
+
+    /// Heap bytes currently committed to the two columns.
+    pub fn heap_bytes(&self) -> usize {
+        self.recs.capacity() * std::mem::size_of::<PackedEvent>()
+            + self.ts.capacity() * std::mem::size_of::<u64>()
+    }
+
+    /// Pack an event slice (no timestamps).
+    pub fn from_events(events: &[Event]) -> Self {
+        let mut store = EventStore::with_capacity(events.len());
+        for e in events {
+            store.push(e, None);
+        }
+        store
+    }
+
+    /// Unpack every row, in order.
+    pub fn to_events(&self) -> Vec<Event> {
+        self.recs.iter().map(PackedEvent::unpack).collect()
+    }
+
+    /// Unpack into the legacy AoS merged log (test oracle and
+    /// compatibility bridge; the fused pipeline never calls this).
+    pub fn to_merged(&self) -> MergedLog {
+        MergedLog {
+            events: self.to_events(),
+        }
+    }
+}
+
+/// The packet grouping as a permutation plus range table over an
+/// [`EventStore`].
+///
+/// `perm` holds row indices stably sorted by packet id, so each packet's
+/// index range preserves merged order (and therefore per-node recording
+/// order — the pipeline's one hard input guarantee), exactly like
+/// `PacketIndex`'s sorted arena. Unlike `PacketIndex`, nothing is copied:
+/// a group is a `&[u32]` of row positions into the shared columns.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnarIndex {
+    /// Row indices, stably sorted by the rows' packet keys.
+    perm: Vec<u32>,
+    /// Distinct packet ids, sorted ascending.
+    ids: Vec<PacketId>,
+    /// `offsets[i]..offsets[i + 1]` is packet `ids[i]`'s range of `perm`;
+    /// length is `ids.len() + 1`.
+    offsets: Vec<u32>,
+}
+
+impl ColumnarIndex {
+    /// Build the grouping: one stable index sort, no record copies.
+    ///
+    /// # Panics
+    /// Panics if the store exceeds `u32::MAX` rows (the row indices and
+    /// offsets are deliberately 4-byte).
+    pub fn build(store: &EventStore) -> Self {
+        assert!(
+            store.len() <= u32::MAX as usize,
+            "ColumnarIndex addresses rows with u32"
+        );
+        let recs = store.records();
+        let mut perm: Vec<u32> = (0..recs.len() as u32).collect();
+        perm.sort_by_key(|&i| recs[i as usize].packet_key());
+        let mut ids: Vec<PacketId> = Vec::new();
+        let mut offsets: Vec<u32> = Vec::new();
+        for (i, &row) in perm.iter().enumerate() {
+            let id = recs[row as usize].packet();
+            if ids.last() != Some(&id) {
+                ids.push(id);
+                offsets.push(i as u32);
+            }
+        }
+        offsets.push(perm.len() as u32);
+        ColumnarIndex { perm, ids, offsets }
+    }
+
+    /// [`ColumnarIndex::build`] with telemetry: timed as the `index` stage,
+    /// group sizes feeding the `group_events` histogram (the same metrics
+    /// the legacy `packet_index_recorded` reports, so profiles compare).
+    pub fn build_recorded(store: &EventStore, recorder: &dyn Recorder) -> Self {
+        let index = {
+            let _span = StageTimer::start(recorder, Stage::Index);
+            ColumnarIndex::build(store)
+        };
+        if recorder.enabled() {
+            recorder.add(Counter::IndexedPackets, index.len() as u64);
+            for i in 0..index.len() {
+                recorder.observe(Hist::GroupEvents, index.group_len(i) as u64);
+            }
+        }
+        index
+    }
+
+    /// Number of distinct packets.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if the store mentioned no packets at all.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Total number of indexed rows.
+    pub fn event_count(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// The distinct packet ids, sorted ascending.
+    pub fn ids(&self) -> &[PacketId] {
+        &self.ids
+    }
+
+    /// The `i`-th group (in sorted-id order) as `(id, row positions)`.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn group(&self, i: usize) -> (PacketId, &[u32]) {
+        (self.ids[i], &self.perm[self.offsets[i] as usize..self.offsets[i + 1] as usize])
+    }
+
+    /// Events in the `i`-th group.
+    pub fn group_len(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// The row positions of one packet, if it appears in the store.
+    pub fn get(&self, id: PacketId) -> Option<&[u32]> {
+        self.ids
+            .binary_search(&id)
+            .ok()
+            .map(|i| &self.perm[self.offsets[i] as usize..self.offsets[i + 1] as usize])
+    }
+
+    /// Iterate `(id, row positions)` groups in sorted-id order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (PacketId, &[u32])> + '_ {
+        (0..self.ids.len()).map(move |i| self.group(i))
+    }
+}
+
+/// A per-worker bump allocation for unpacking packet groups.
+///
+/// `unpack` clears and refills one grow-only buffer, so a warm worker
+/// serves every group from capacity it already owns: zero per-event heap
+/// objects, zero steady-state allocation. Growths (capacity misses) are
+/// counted separately from acquires; `1 - grows / acquires` is the arena
+/// reuse ratio the bench snapshot reports.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    buf: Vec<Event>,
+    acquires: u64,
+    grows: u64,
+}
+
+impl ScratchArena {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        ScratchArena::default()
+    }
+
+    /// Unpack the rows at `positions` into the arena, returning them as one
+    /// contiguous slice (valid until the next `unpack`).
+    pub fn unpack<'a>(&'a mut self, store: &EventStore, positions: &[u32]) -> &'a [Event] {
+        self.acquires += 1;
+        if positions.len() > self.buf.capacity() {
+            self.grows += 1;
+        }
+        self.buf.clear();
+        let recs = store.records();
+        self.buf
+            .extend(positions.iter().map(|&row| recs[row as usize].unpack()));
+        &self.buf
+    }
+
+    /// `(acquires, grows)` so far.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.acquires, self.grows)
+    }
+
+    /// Report this arena's acquire/grow counts into a recorder.
+    pub fn record(&self, recorder: &dyn Recorder) {
+        if recorder.enabled() {
+            recorder.add(Counter::ArenaAcquires, self.acquires);
+            recorder.add(Counter::ArenaGrows, self.grows);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logger::LocalLog;
+    use crate::merge::merge_logs;
+
+    fn pid(origin: u16, seqno: u32) -> PacketId {
+        PacketId::new(NodeId(origin), seqno)
+    }
+
+    #[test]
+    fn packed_event_is_sixteen_bytes() {
+        assert_eq!(std::mem::size_of::<PackedEvent>(), 16);
+    }
+
+    #[test]
+    fn peer_zero_and_no_peer_stay_distinct() {
+        let with_peer = Event::new(NodeId(3), EventKind::Recv { from: NodeId(0) }, pid(1, 0));
+        let without = Event::new(NodeId(3), EventKind::Origin, pid(1, 0));
+        let p = PackedEvent::pack(&with_peer);
+        let q = PackedEvent::pack(&without);
+        assert_eq!(p.peer(), Some(NodeId(0)));
+        assert_eq!(q.peer(), None);
+        assert_eq!(p.unpack(), with_peer);
+        assert_eq!(q.unpack(), without);
+    }
+
+    #[test]
+    fn extreme_ids_roundtrip() {
+        let e = Event::new(
+            NodeId(u16::MAX),
+            EventKind::Timeout { to: NodeId(u16::MAX - 1) },
+            pid(u16::MAX, u32::MAX),
+        );
+        assert_eq!(PackedEvent::pack(&e).unpack(), e);
+        let c = Event::new(NodeId(0), EventKind::Custom(u16::MAX), pid(0, 0));
+        assert_eq!(PackedEvent::pack(&c).unpack(), c);
+    }
+
+    #[test]
+    fn packet_key_orders_like_packet_id() {
+        let rows = [pid(1, 5), pid(1, 6), pid(2, 0), pid(0, u32::MAX), pid(2, 1)];
+        let mut by_key: Vec<PacketId> = rows.to_vec();
+        by_key.sort_by_key(|id| {
+            PackedEvent::pack(&Event::new(NodeId(0), EventKind::Origin, *id)).packet_key()
+        });
+        let mut by_ord = rows.to_vec();
+        by_ord.sort();
+        assert_eq!(by_key, by_ord);
+    }
+
+    #[test]
+    fn store_keeps_ts_column_aligned() {
+        let e0 = Event::new(NodeId(1), EventKind::Origin, pid(1, 0));
+        let e1 = Event::new(NodeId(2), EventKind::Recv { from: NodeId(1) }, pid(1, 0));
+        let mut store = EventStore::new();
+        store.push(&e0, Some(10));
+        store.push(&e1, None);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.ts(0), Some(10));
+        assert_eq!(store.ts(1), None);
+        assert_eq!(store.event(0), e0);
+        assert_eq!(store.event(1), e1);
+        assert_eq!(store.to_events(), vec![e0, e1]);
+    }
+
+    #[test]
+    fn append_concatenates_both_columns() {
+        let e = |s: u32| Event::new(NodeId(1), EventKind::Origin, pid(1, s));
+        let mut a = EventStore::new();
+        a.push(&e(0), Some(1));
+        let mut b = EventStore::new();
+        b.push(&e(1), None);
+        b.push(&e(2), Some(3));
+        a.append(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.to_events(), vec![e(0), e(1), e(2)]);
+        assert_eq!(a.ts(0), Some(1));
+        assert_eq!(a.ts(1), None);
+        assert_eq!(a.ts(2), Some(3));
+    }
+
+    #[test]
+    fn columnar_index_matches_packet_index() {
+        // Interleaved packets across nodes: the permutation groups must
+        // equal the legacy sorted-arena groups slice for slice.
+        let ev = |node: u16, origin: u16, seqno: u32| {
+            Event::new(NodeId(node), EventKind::Origin, pid(origin, seqno))
+        };
+        let logs = [
+            LocalLog::from_events(NodeId(1), vec![ev(1, 1, 2), ev(1, 1, 0), ev(1, 1, 2)]),
+            LocalLog::from_events(NodeId(2), vec![ev(2, 2, 1), ev(2, 1, 2)]),
+        ];
+        let merged = merge_logs(&logs);
+        let legacy = merged.packet_index();
+        let store = EventStore::from_events(&merged.events);
+        let index = ColumnarIndex::build(&store);
+        assert_eq!(index.len(), legacy.len());
+        assert_eq!(index.event_count(), legacy.event_count());
+        assert_eq!(index.ids(), legacy.ids());
+        let mut scratch = ScratchArena::new();
+        for i in 0..index.len() {
+            let (id, positions) = index.group(i);
+            let (legacy_id, legacy_events) = legacy.group(i);
+            assert_eq!(id, legacy_id);
+            assert_eq!(scratch.unpack(&store, positions), legacy_events);
+        }
+        assert_eq!(index.get(pid(9, 9)), None);
+    }
+
+    #[test]
+    fn scratch_arena_reuses_capacity() {
+        let ev = |s: u32| Event::new(NodeId(1), EventKind::Origin, pid(1, s));
+        let events: Vec<Event> = (0..8).map(ev).collect();
+        let store = EventStore::from_events(&events);
+        let positions: Vec<u32> = (0..8).collect();
+        let mut arena = ScratchArena::new();
+        arena.unpack(&store, &positions);
+        arena.unpack(&store, &positions[..4]);
+        arena.unpack(&store, &positions);
+        let (acquires, grows) = arena.counts();
+        assert_eq!(acquires, 3);
+        assert_eq!(grows, 1, "only the first unpack should grow");
+    }
+
+    #[test]
+    fn empty_store_and_index() {
+        let store = EventStore::new();
+        assert!(store.is_empty());
+        let index = ColumnarIndex::build(&store);
+        assert!(index.is_empty());
+        assert_eq!(index.event_count(), 0);
+        assert_eq!(index.iter().count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod columnar_props {
+    //! The packed representation's correctness contract: `pack ∘ unpack`
+    //! is the identity over every `EventKind` variant (peers, customs, and
+    //! extreme ids included), and the permutation index reproduces the
+    //! legacy sorted-arena grouping exactly.
+
+    use super::*;
+    use crate::merge::PacketIndex;
+    use proptest::prelude::*;
+
+    fn arb_kind() -> impl Strategy<Value = EventKind> {
+        let peer = any::<u16>().prop_map(NodeId);
+        prop_oneof![
+            peer.clone().prop_map(|from| EventKind::Recv { from }),
+            peer.clone().prop_map(|from| EventKind::Overflow { from }),
+            peer.clone().prop_map(|from| EventKind::Dup { from }),
+            peer.clone().prop_map(|to| EventKind::Trans { to }),
+            peer.clone().prop_map(|to| EventKind::AckRecvd { to }),
+            Just(EventKind::Origin),
+            Just(EventKind::Enqueue),
+            peer.prop_map(|to| EventKind::Timeout { to }),
+            Just(EventKind::SerialTrans),
+            Just(EventKind::BsRecv),
+            Just(EventKind::Deliver),
+            any::<u16>().prop_map(EventKind::Custom),
+        ]
+    }
+
+    fn arb_event() -> impl Strategy<Value = Event> {
+        (any::<u16>(), arb_kind(), any::<u16>(), any::<u32>()).prop_map(
+            |(node, kind, origin, seqno)| {
+                Event::new(NodeId(node), kind, PacketId::new(NodeId(origin), seqno))
+            },
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn packed_event_roundtrips(e in arb_event()) {
+            prop_assert_eq!(PackedEvent::pack(&e).unpack(), e);
+        }
+
+        #[test]
+        fn store_roundtrips_events_and_ts(
+            entries in proptest::collection::vec(
+                (arb_event(), proptest::option::of(0u64..u64::MAX)),
+                0..64,
+            )
+        ) {
+            let mut store = EventStore::new();
+            for (e, ts) in &entries {
+                store.push(e, *ts);
+            }
+            prop_assert_eq!(store.len(), entries.len());
+            for (i, (e, ts)) in entries.iter().enumerate() {
+                prop_assert_eq!(store.event(i), *e);
+                prop_assert_eq!(store.ts(i), *ts);
+            }
+        }
+
+        #[test]
+        fn columnar_index_matches_legacy_grouping(
+            // Small id spaces force collisions, so groups have real depth.
+            events in proptest::collection::vec(
+                (0u16..4, arb_kind(), 0u16..3, 0u32..4).prop_map(
+                    |(node, kind, origin, seqno)| Event::new(
+                        NodeId(node),
+                        kind,
+                        PacketId::new(NodeId(origin), seqno),
+                    )
+                ),
+                0..80,
+            )
+        ) {
+            let legacy = PacketIndex::build(&events);
+            let store = EventStore::from_events(&events);
+            let index = ColumnarIndex::build(&store);
+            prop_assert_eq!(index.len(), legacy.len());
+            prop_assert_eq!(index.ids(), legacy.ids());
+            let mut scratch = ScratchArena::new();
+            for i in 0..index.len() {
+                let (id, positions) = index.group(i);
+                let (legacy_id, legacy_events) = legacy.group(i);
+                prop_assert_eq!(id, legacy_id);
+                prop_assert_eq!(scratch.unpack(&store, positions), legacy_events);
+            }
+        }
+    }
+}

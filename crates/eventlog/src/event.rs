@@ -165,8 +165,9 @@ impl EventKind {
     ///
     /// Codes are part of the signature definition: changing an existing
     /// assignment silently invalidates persisted signatures, so new kinds
-    /// must take fresh codes.
-    pub fn code(&self) -> u8 {
+    /// must take fresh codes. `const` so code-based dispatch tables (the
+    /// columnar hot path) can name codes without magic numbers.
+    pub const fn code(&self) -> u8 {
         match self {
             EventKind::Recv { .. } => 0,
             EventKind::Overflow { .. } => 1,
@@ -181,6 +182,29 @@ impl EventKind {
             EventKind::Deliver => 10,
             EventKind::Custom(_) => 11,
         }
+    }
+
+    /// Rebuild a kind from its [`code`](Self::code), a peer, and a custom
+    /// payload — the inverse of the columnar packing in
+    /// `eventlog::columnar`. `peer` is ignored for kinds that carry none,
+    /// `custom` for every kind but `Custom`. Returns `None` for codes no
+    /// kind owns.
+    pub fn from_parts(code: u8, peer: NodeId, custom: u16) -> Option<EventKind> {
+        Some(match code {
+            0 => EventKind::Recv { from: peer },
+            1 => EventKind::Overflow { from: peer },
+            2 => EventKind::Dup { from: peer },
+            3 => EventKind::Trans { to: peer },
+            4 => EventKind::AckRecvd { to: peer },
+            5 => EventKind::Origin,
+            6 => EventKind::Enqueue,
+            7 => EventKind::Timeout { to: peer },
+            8 => EventKind::SerialTrans,
+            9 => EventKind::BsRecv,
+            10 => EventKind::Deliver,
+            11 => EventKind::Custom(custom),
+            _ => return None,
+        })
     }
 
     /// A short name matching the paper's notation.
@@ -293,5 +317,38 @@ mod tests {
     #[test]
     fn base_station_is_reserved() {
         assert_eq!(BASE_STATION, NodeId(u16::MAX));
+    }
+
+    #[test]
+    fn from_parts_inverts_code_for_every_kind() {
+        let peer = NodeId(42);
+        let kinds = [
+            EventKind::Recv { from: peer },
+            EventKind::Overflow { from: peer },
+            EventKind::Dup { from: peer },
+            EventKind::Trans { to: peer },
+            EventKind::AckRecvd { to: peer },
+            EventKind::Origin,
+            EventKind::Enqueue,
+            EventKind::Timeout { to: peer },
+            EventKind::SerialTrans,
+            EventKind::BsRecv,
+            EventKind::Deliver,
+            EventKind::Custom(9001),
+        ];
+        for kind in kinds {
+            let custom = match kind {
+                EventKind::Custom(c) => c,
+                _ => 0,
+            };
+            let back = EventKind::from_parts(
+                kind.code(),
+                kind.peer().unwrap_or(NodeId(0)),
+                custom,
+            );
+            assert_eq!(back, Some(kind));
+        }
+        assert_eq!(EventKind::from_parts(12, peer, 0), None);
+        assert_eq!(EventKind::from_parts(u8::MAX, peer, 0), None);
     }
 }

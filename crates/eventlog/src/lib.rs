@@ -15,6 +15,7 @@
 pub mod archive;
 pub mod clock;
 pub mod collect;
+pub mod columnar;
 pub mod event;
 pub mod fate;
 pub mod frame;
@@ -25,13 +26,14 @@ pub mod watermark;
 pub use archive::ArchiveError;
 pub use clock::ClockModel;
 pub use collect::{CollectionConfig, LossyCollector};
+pub use columnar::{ColumnarIndex, EventStore, PackedEvent, ScratchArena, TS_NONE};
 pub use event::{Event, EventKind, PacketId, SeqNo};
 pub use fate::{GroundTruth, LossCause, PacketFate, TruthEvent};
 pub use frame::{FrameDecoder, FrameStats, NodeRecord};
 pub use logger::{LocalLog, LogEntry, LoggerConfig, NodeLogger};
 pub use merge::{
-    merge_logs, merge_logs_kway, merge_logs_partitioned, merge_logs_recorded, MergedLog,
-    PacketIndex,
+    merge_logs, merge_logs_kway, merge_logs_partitioned, merge_logs_recorded, merge_logs_store,
+    merge_logs_store_recorded, MergedLog, PacketIndex,
 };
 pub use watermark::{Lateness, Mark, WatermarkTracker};
 

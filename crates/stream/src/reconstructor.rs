@@ -262,6 +262,13 @@ impl StreamReconstructor {
         self.inc.report(id)
     }
 
+    /// Heap bytes held by the packed per-packet event state — the memory
+    /// a long-running stream actually retains between polls (16 bytes per
+    /// event, plus unamortized vector capacity).
+    pub fn packed_event_bytes(&self) -> usize {
+        self.inc.packed_bytes()
+    }
+
     /// Every current report, cloned, in packet-id order.
     pub fn reports(&self) -> Vec<PacketReport> {
         self.inc.reports().into_iter().cloned().collect()
@@ -319,6 +326,8 @@ mod tests {
         assert_eq!(streamed, batch);
         assert_eq!(stream.stats().records, 16);
         assert_eq!(stream.open_windows(), 0);
+        // 16 packed events are resident at 16 bytes each.
+        assert!(stream.packed_event_bytes() >= 16 * 16);
     }
 
     #[test]

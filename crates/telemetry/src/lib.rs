@@ -93,12 +93,26 @@ pub enum Counter {
     WindowsClosed,
     /// Closed windows reopened by a late arrival.
     WindowsReopened,
+    /// Events packed into a columnar `EventStore` by the fused merge.
+    ColumnarEvents,
+    /// Heap bytes held by columnar stores after a fused merge (record and
+    /// timestamp columns; divide by `columnar_events` for bytes/event).
+    ColumnarBytes,
+    /// Packet groups unpacked through a worker's scratch arena.
+    ArenaAcquires,
+    /// Arena unpacks that had to grow the scratch buffer (a regrowth;
+    /// `1 - arena_grows / arena_acquires` is the arena reuse ratio).
+    ArenaGrows,
+    /// Size-aware batches planned by the work-stealing scheduler.
+    SchedBatches,
+    /// Batches a worker stole from another worker's deque.
+    SchedSteals,
 }
 
 impl Counter {
     /// Every counter, in declaration order (the array layout of
     /// [`AtomicRecorder`]).
-    pub const ALL: [Counter; 27] = [
+    pub const ALL: [Counter; 33] = [
         Counter::CacheHits,
         Counter::CacheMisses,
         Counter::CacheInserts,
@@ -126,6 +140,12 @@ impl Counter {
         Counter::StreamLateEvents,
         Counter::WindowsClosed,
         Counter::WindowsReopened,
+        Counter::ColumnarEvents,
+        Counter::ColumnarBytes,
+        Counter::ArenaAcquires,
+        Counter::ArenaGrows,
+        Counter::SchedBatches,
+        Counter::SchedSteals,
     ];
 
     /// Number of counters.
@@ -161,6 +181,12 @@ impl Counter {
             Counter::StreamLateEvents => "stream_late_events",
             Counter::WindowsClosed => "windows_closed",
             Counter::WindowsReopened => "windows_reopened",
+            Counter::ColumnarEvents => "columnar_events",
+            Counter::ColumnarBytes => "columnar_bytes",
+            Counter::ArenaAcquires => "arena_acquires",
+            Counter::ArenaGrows => "arena_grows",
+            Counter::SchedBatches => "sched_batches",
+            Counter::SchedSteals => "sched_steals",
         }
     }
 
@@ -207,11 +233,17 @@ pub enum Stage {
     /// Stream window bookkeeping: lane pumping, watermark updates, and
     /// close sweeps (excludes the reconstruction the sweep triggers).
     Window,
+    /// The fused columnar merge: loser-tree merge emitting packed records
+    /// straight into an `EventStore` (merge and pack in one span).
+    Pack,
+    /// Size-aware batch planning over the columnar range table, ahead of
+    /// the work-stealing drive.
+    Schedule,
 }
 
 impl Stage {
     /// Every stage, in declaration order.
-    pub const ALL: [Stage; 12] = [
+    pub const ALL: [Stage; 14] = [
         Stage::Merge,
         Stage::MergePartition,
         Stage::Index,
@@ -224,6 +256,8 @@ impl Stage {
         Stage::Transport,
         Stage::Decode,
         Stage::Window,
+        Stage::Pack,
+        Stage::Schedule,
     ];
 
     /// Number of stages.
@@ -244,6 +278,8 @@ impl Stage {
             Stage::Transport => "transport",
             Stage::Decode => "decode",
             Stage::Window => "window",
+            Stage::Pack => "pack",
+            Stage::Schedule => "schedule",
         }
     }
 
@@ -278,11 +314,16 @@ pub enum Hist {
     StreamQueueDepth,
     /// Events a packet window held when it closed.
     WindowEvents,
+    /// Packet groups per planned scheduler batch.
+    BatchPackets,
+    /// Events per planned scheduler batch (the quantity the planner
+    /// actually balances; compare against `batch_packets` for skew).
+    BatchEvents,
 }
 
 impl Hist {
     /// Every histogram, in declaration order.
-    pub const ALL: [Hist; 9] = [
+    pub const ALL: [Hist; 11] = [
         Hist::GroupEvents,
         Hist::FlowEntries,
         Hist::NodeLogEvents,
@@ -292,6 +333,8 @@ impl Hist {
         Hist::QueueWaitNs,
         Hist::StreamQueueDepth,
         Hist::WindowEvents,
+        Hist::BatchPackets,
+        Hist::BatchEvents,
     ];
 
     /// Number of histograms.
@@ -309,6 +352,8 @@ impl Hist {
             Hist::QueueWaitNs => "queue_wait_ns",
             Hist::StreamQueueDepth => "stream_queue_depth",
             Hist::WindowEvents => "window_events",
+            Hist::BatchPackets => "batch_packets",
+            Hist::BatchEvents => "batch_events",
         }
     }
 
