@@ -17,6 +17,7 @@ use eventlog::{merge_logs_kway, merge_logs_partitioned, merge_logs_recorded, mer
 use refill::parallel::{
     reconstruct_crossbeam, reconstruct_fused, reconstruct_rayon, reconstruct_rayon_cached,
 };
+use refill::provenance::{ProvenanceSink, TraceSampler};
 use refill::sigcache::SigCache;
 use refill::telemetry::{AtomicRecorder, Recorder, TelemetrySnapshot};
 use refill::trace::{CtpVocabulary, Reconstructor};
@@ -107,6 +108,34 @@ fn main() {
         reps,
     );
     let cache_stats = shared.stats();
+
+    // Provenance capture overhead: the same warm cached pass with a
+    // full-capture ledger sink attached. The baseline is `cached_warm`
+    // above — a reconstructor simply *without* a sink is the disabled
+    // path, so the ratio prices ledger capture at 100% sampling.
+    let prov_sink = Arc::new(ProvenanceSink::new(TraceSampler::always()));
+    let prov_recon = Reconstructor::new(CtpVocabulary::citysee())
+        .with_sink(campaign.topology.sink())
+        .with_provenance(Arc::clone(&prov_sink));
+    let prov_warm_s = time_call(
+        || prov_recon.reconstruct_log_cached(&campaign.merged, &shared),
+        reps,
+    );
+
+    // Narrative cost: mean time to build one packet's explanation from a
+    // finished report (ledger entry + diagnosis + rule text).
+    let explain_reports = recon.reconstruct_log_cached(&campaign.merged, &shared);
+    let explain_diagnoser = refill::Diagnoser::new().with_sink(campaign.topology.sink());
+    let explain_s = time_call(
+        || {
+            explain_reports
+                .iter()
+                .map(|r| refill::explain::explain(r, &explain_diagnoser, None))
+                .count()
+        },
+        reps,
+    );
+    let explain_us_per_flow = explain_s * 1e6 / (explain_reports.len().max(1) as f64);
 
     // Instrumented pass: the same warm cached reconstruction with a live
     // recorder attached, so the snapshot gets a real stage breakdown and
@@ -261,6 +290,8 @@ fn main() {
         merge_by_k_ms: Some(serde_json::Value::Object(merge_by_k)),
         telemetry_packets_per_sec: Some(pps(telemetry_warm_s)),
         telemetry_overhead_ratio: Some(telemetry_warm_s / cached_warm_s),
+        provenance_overhead_ratio: Some(prov_warm_s / cached_warm_s),
+        explain_us_per_flow: Some(explain_us_per_flow),
         // Mean per-run stage time from the instrumented passes (the legacy
         // pass includes the one cold run that fills the cache, hence
         // transition > rehydrate even at a high hit rate).
@@ -317,6 +348,13 @@ fn main() {
         "[bench] telemetry: {:.0} packets/sec instrumented ({:.2}x of plain warm)",
         pps(telemetry_warm_s),
         telemetry_warm_s / cached_warm_s,
+    );
+    eprintln!(
+        "[bench] provenance: {:.2}x of plain warm at full capture ({} flows in the ledger), \
+         {:.1} us/flow to explain",
+        prov_warm_s / cached_warm_s,
+        prov_sink.ledger().len(),
+        explain_us_per_flow,
     );
     eprintln!(
         "[bench] merge (K=1200): {:.1} Mevents/sec loser tree, {:.1} Mevents/sec partitioned ({} partitions)",

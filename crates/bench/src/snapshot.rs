@@ -85,6 +85,13 @@ pub struct BenchSnapshot {
     pub merge_by_k_ms: Option<serde_json::Value>,
     pub telemetry_packets_per_sec: Option<f64>,
     pub telemetry_overhead_ratio: Option<f64>,
+    /// Warm cached pass with a full-capture provenance sink attached,
+    /// relative to the same pass with no sink (the zero-cost disabled
+    /// path) — the price of ledger capture at 100% sampling.
+    pub provenance_overhead_ratio: Option<f64>,
+    /// Mean microseconds to build one packet's explanation narrative
+    /// (ledger entry + diagnosis + rule text) from a finished report.
+    pub explain_us_per_flow: Option<f64>,
     pub stage_breakdown_ms: StageBreakdownMs,
     pub fsm_steps: Option<u64>,
     pub fsm_jump_transitions: Option<u64>,
@@ -161,6 +168,18 @@ mod tests {
         }
         assert!(raw["stage_breakdown_ms"].get("pack").is_some());
         assert!(raw["stage_breakdown_ms"].get("schedule").is_some());
+    }
+
+    /// Likewise for the provenance/observability fields.
+    #[test]
+    fn snapshot_carries_provenance_fields() {
+        let raw: serde_json::Value = serde_json::from_str(&checked_in()).unwrap();
+        for key in ["provenance_overhead_ratio", "explain_us_per_flow"] {
+            assert!(
+                raw.get(key).is_some(),
+                "checked-in snapshot is missing {key}"
+            );
+        }
     }
 
     /// Round trip: a default snapshot survives serialize → parse.

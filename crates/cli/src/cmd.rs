@@ -24,10 +24,12 @@ USAGE:
   refill simulate [--scale small|standard|paper] [--seed N] [--out DIR]
   refill analyze  --logs DIR_OR_FILE [--sink N] [--period SECS] [--stats] [--telemetry FILE]
   refill trace    --logs DIR_OR_FILE --packet ORIGIN:SEQNO [--sink N] [--dot] [--stats] [--telemetry FILE]
-  refill profile  [--logs DIR_OR_FILE] [--sink N] [--seed N] [--telemetry FILE]
+  refill explain  ORIGIN:SEQNO [--logs DIR_OR_FILE] [--sink N] [--seed N] [--format text|json]
+  refill profile  [--logs DIR_OR_FILE] [--sink N] [--seed N] [--workers N] [--telemetry FILE]
   refill report   [--scale small|standard|paper] [--seed N]
   refill stream   [--frames FILE|-] [--sink N] [--lane-capacity N]
-                  [--late-records N] [--late-us N] [--quiet] [--telemetry FILE]
+                  [--late-records N] [--late-us N] [--metrics-every N]
+                  [--quiet] [--telemetry FILE]
   refill help
 
   stream reconstructs online: framed records (eventlog::frame wire format)
@@ -35,13 +37,22 @@ USAGE:
   watermarks pass (--late-records / --late-us lateness), rolling reports
   print as they close, and the converged summary follows. With no --frames
   it simulates one CitySee-like day and replays its upload stream.
+  --metrics-every N emits a JSON-lines telemetry delta (counters, stage
+  timings, histograms since the previous delta) every N absorbed records.
   --stats prints reconstruction throughput, signature-cache hit rate, and
   the unique-flow-shape count after the run.
   --telemetry FILE writes the full pipeline telemetry snapshot (counters,
-  stage timings, histograms) as JSON.
-  profile runs the whole pipeline single-threaded with telemetry attached
-  and prints a per-stage breakdown; with no --logs it simulates one
-  CitySee-like day first.";
+  stage timings, histograms) as JSON; --prometheus FILE writes the same
+  snapshot in Prometheus text exposition format (both accepted wherever
+  --telemetry is).
+  explain narrates one packet's provenance: which events were logged,
+  which were inferred (and by which FSM rule), where the loss happened
+  and why, with a ledger confidence score. With no --logs it simulates
+  one CitySee-like day first.
+  profile runs the whole pipeline with telemetry attached and prints a
+  per-stage breakdown; single-threaded by default so stage totals add up
+  to wall time, or --workers N for the fused columnar parallel driver.
+  With no --logs it simulates one CitySee-like day first.";
 
 /// Tiny flag parser: `--key value` pairs plus boolean `--key` switches.
 struct Flags {
@@ -203,9 +214,14 @@ pub fn report(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Recorder requested via `--telemetry FILE`, or `None`.
+/// Recorder requested via `--telemetry FILE` or `--prometheus FILE`, or
+/// `None`.
 fn recorder_for(flags: &Flags) -> Option<Arc<AtomicRecorder>> {
-    flags.get("telemetry").map(|_| Arc::new(AtomicRecorder::new()))
+    if flags.get("telemetry").is_some() || flags.get("prometheus").is_some() {
+        Some(Arc::new(AtomicRecorder::new()))
+    } else {
+        None
+    }
 }
 
 /// Attach `recorder` (when present) to a reconstructor.
@@ -230,11 +246,18 @@ fn cache_for(recorder: &Option<Arc<AtomicRecorder>>) -> SigCache {
     }
 }
 
-/// Write the `--telemetry FILE` snapshot, if requested.
+/// Write the `--telemetry FILE` (JSON) and `--prometheus FILE` (text
+/// exposition) snapshots, if requested.
 fn write_telemetry(flags: &Flags, recorder: &Option<Arc<AtomicRecorder>>) -> Result<(), String> {
-    if let (Some(path), Some(rec)) = (flags.get("telemetry"), recorder) {
+    let Some(rec) = recorder else { return Ok(()) };
+    if let Some(path) = flags.get("telemetry") {
         std::fs::write(path, rec.snapshot().to_json()).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("telemetry written to {path}");
+    }
+    if let Some(path) = flags.get("prometheus") {
+        std::fs::write(path, rec.snapshot().render_prometheus())
+            .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("prometheus exposition written to {path}");
     }
     Ok(())
 }
@@ -433,19 +456,106 @@ pub fn trace(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `refill explain`, printing.
+pub fn explain(args: &[String]) -> Result<(), String> {
+    print!("{}", explain_cmd_inner(args)?);
+    Ok(())
+}
+
+/// `refill explain`, returning the printed output (testable): a provenance
+/// narrative for one packet — observed vs inferred events, the FSM rule
+/// behind each inference, loss position and cause, and the ledger
+/// confidence score.
+pub fn explain_cmd_inner(args: &[String]) -> Result<String, String> {
+    use refill::provenance::{ProvenanceSink, TraceSampler};
+
+    // The packet may be given positionally (`refill explain 17:4`) or via
+    // `--packet`, matching `refill trace`.
+    let (positional, rest) = match args.first() {
+        Some(a) if !a.starts_with("--") => (Some(a.as_str()), &args[1..]),
+        _ => (None, args),
+    };
+    let flags = Flags::parse(rest, &[])?;
+    let spec = positional
+        .or_else(|| flags.get("packet"))
+        .ok_or("explain needs a packet: `refill explain ORIGIN:SEQNO` (or --packet)")?;
+    let packet = parse_packet(spec)?;
+
+    let mut sink_from_sim = None;
+    let logs = match flags.get("logs") {
+        Some(path) => read_archive(path)?,
+        None => {
+            let mut scenario = Scenario {
+                days: 1,
+                ..Scenario::small()
+            };
+            if let Some(seed) = flags.get("seed") {
+                scenario.seed = seed.parse().map_err(|_| "bad seed")?;
+            }
+            eprintln!(
+                "no --logs given; simulating one CitySee-like day ({} nodes, seed {})…",
+                scenario.nodes, scenario.seed
+            );
+            let campaign = run_scenario(&scenario);
+            sink_from_sim = Some(campaign.topology.sink());
+            campaign.collected
+        }
+    };
+    let (mut recon, mut sink) = build_reconstructor(&flags)?;
+    if sink.is_none() {
+        if let Some(s) = sink_from_sim {
+            recon = recon.with_sink(s);
+            sink = Some(s);
+        }
+    }
+    // Full-capture ledger: the disposition for the narrative comes from the
+    // sink rather than being assumed at the call site.
+    let prov = Arc::new(ProvenanceSink::new(TraceSampler::always()));
+    let recon = recon.with_provenance(Arc::clone(&prov));
+
+    let merged = merge_logs_recorded(&logs, &**recon.recorder());
+    let index = merged.packet_index_recorded(&**recon.recorder());
+    let events = index
+        .get(packet)
+        .ok_or_else(|| format!("no events for packet {packet} in the archive"))?;
+    let cache = SigCache::default();
+    let report = recon.reconstruct_packet_cached(packet, events, &cache);
+    let disposition = prov.ledger().get(packet).map(|f| f.disposition);
+
+    let diagnoser = match sink {
+        Some(s) => Diagnoser::new().with_sink(s),
+        None => Diagnoser::new(),
+    };
+    let explanation = refill::explain::explain(&report, &diagnoser, disposition);
+    match flags.get("format").unwrap_or("text") {
+        "text" => Ok(explanation.render_text()),
+        "json" => {
+            let mut s = explanation.to_json();
+            s.push('\n');
+            Ok(s)
+        }
+        other => Err(format!("unknown format '{other}' (expected text or json)")),
+    }
+}
+
 /// `refill profile`: run the whole reconstruction pipeline single-threaded
 /// with telemetry attached and print the per-stage breakdown. Without
 /// `--logs`, one CitySee-like day is simulated first so the command works
 /// standalone.
 ///
-/// Single-threaded on purpose: stage totals then add up to wall-clock time
-/// instead of summing CPU time across rayon workers, which makes the table
-/// directly readable as "where did the time go". The one exception is the
-/// merge front-end, which partitions across rayon workers on large inputs:
-/// its `merge` row is still wall time (the outer span runs on this
-/// thread), while the nested `merge_partition` rows sum worker CPU time —
-/// their total exceeding `merge` is the parallel speedup, not an
-/// accounting error.
+/// Single-threaded by default on purpose: stage totals then add up to
+/// wall-clock time instead of summing CPU time across rayon workers, which
+/// makes the table directly readable as "where did the time go". The one
+/// exception is the merge front-end, which partitions across rayon workers
+/// on large inputs: its `merge` row is still wall time (the outer span
+/// runs on this thread), while the nested `merge_partition` rows sum
+/// worker CPU time — their total exceeding `merge` is the parallel
+/// speedup, not an accounting error.
+///
+/// `--workers N` (N > 1) switches to the fused columnar parallel driver
+/// instead: every stage row then sums CPU time across workers, so the
+/// table reads as "where did the work go" and the stage totals exceed
+/// wall time by roughly the achieved parallelism.
 pub fn profile(args: &[String]) -> Result<(), String> {
     let flags = Flags::parse(args, &[])?;
     let mut sink_from_sim = None;
@@ -485,21 +595,38 @@ pub fn profile(args: &[String]) -> Result<(), String> {
         None => Diagnoser::new(),
     };
 
+    let workers: usize = flags
+        .get("workers")
+        .map(|w| w.parse().map_err(|_| "bad worker count"))
+        .transpose()?
+        .unwrap_or(1);
+
     let t0 = Instant::now();
-    let merged = merge_logs_recorded(&logs, &*recorder);
-    let index = merged.packet_index_recorded(&*recorder);
     let cache = {
         let shared: Arc<dyn Recorder> = Arc::clone(&recorder);
         SigCache::default().with_recorder(shared)
     };
     let mut packets = 0usize;
-    for (id, events) in index.iter() {
-        let report = recon.reconstruct_packet_cached(id, events, &cache);
-        {
+    if workers > 1 {
+        // Fused columnar driver: merge, index, and reconstruction all run
+        // inside the work-stealing scheduler, so no separate merge here.
+        let reports = refill::parallel::reconstruct_fused_cached(&recon, &logs, workers, &cache);
+        for report in &reports {
             let _span = StageTimer::start(&*recorder, Stage::Diagnose);
-            let _ = diagnoser.diagnose(&report, None);
+            let _ = diagnoser.diagnose(report, None);
         }
-        packets += 1;
+        packets = reports.len();
+    } else {
+        let merged = merge_logs_recorded(&logs, &*recorder);
+        let index = merged.packet_index_recorded(&*recorder);
+        for (id, events) in index.iter() {
+            let report = recon.reconstruct_packet_cached(id, events, &cache);
+            {
+                let _span = StageTimer::start(&*recorder, Stage::Diagnose);
+                let _ = diagnoser.diagnose(&report, None);
+            }
+            packets += 1;
+        }
     }
     let secs = t0.elapsed().as_secs_f64();
 
@@ -513,10 +640,19 @@ pub fn profile(args: &[String]) -> Result<(), String> {
         );
     }
     let throughput = if secs > 0.0 { packets as f64 / secs } else { 0.0 };
-    println!("\n{packets} packets in {secs:.3}s ({throughput:.0} packets/sec, single-threaded)");
+    let mode = if workers > 1 {
+        format!("fused columnar, {workers} workers")
+    } else {
+        "single-threaded".to_owned()
+    };
+    println!("\n{packets} packets in {secs:.3}s ({throughput:.0} packets/sec, {mode})");
     if let Some(path) = flags.get("telemetry") {
         std::fs::write(path, snapshot.to_json()).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("telemetry written to {path}");
+    }
+    if let Some(path) = flags.get("prometheus") {
+        std::fs::write(path, snapshot.render_prometheus()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("prometheus exposition written to {path}");
     }
     Ok(())
 }
@@ -529,11 +665,21 @@ pub fn stream(args: &[String]) -> Result<(), String> {
 
 /// `refill stream`, returning the printed output (testable).
 pub fn stream_cmd_inner(args: &[String]) -> Result<String, String> {
-    use refill_stream::{run_stream, DriverConfig, Replay, StreamConfig, StreamReconstructor};
+    use refill_stream::{run_stream_metered, DriverConfig, Replay, StreamConfig, StreamReconstructor};
 
     let flags = Flags::parse(args, &["quiet"])?;
+    let metrics_every: Option<u64> = flags
+        .get("metrics-every")
+        .map(|v| v.parse().map_err(|_| "bad metrics interval"))
+        .transpose()?;
     let (recon, _) = build_reconstructor(&flags)?;
-    let recorder = recorder_for(&flags);
+    // Interval deltas need a real recorder even when no snapshot file was
+    // asked for — a Noop recorder would emit all-zero deltas.
+    let recorder = match recorder_for(&flags) {
+        Some(r) => Some(r),
+        None if metrics_every.is_some() => Some(Arc::new(AtomicRecorder::new())),
+        None => None,
+    };
     let recon = attach_recorder(recon, &recorder);
 
     let mut config = StreamConfig::default();
@@ -549,26 +695,42 @@ pub fn stream_cmd_inner(args: &[String]) -> Result<String, String> {
     let mut stream = StreamReconstructor::with_config(recon, config);
 
     let quiet = flags.has("quiet");
-    let mut out = String::new();
+    // Two independent sinks write interleaved output (rolling reports and
+    // metrics deltas), so the buffer lives behind a RefCell.
+    let out = std::cell::RefCell::new(String::new());
     use std::fmt::Write as _;
-    let emit = |out: &mut String, r: &refill::PacketReport| {
+    let emit = |r: &refill::PacketReport| {
         if !quiet {
-            let _ = writeln!(out, "packet {} | {}", r.packet, r.flow);
+            let mut o = out.borrow_mut();
+            let _ = writeln!(o, "packet {} | {}", r.packet, r.flow);
+        }
+    };
+    let metrics = |snap: &refill::telemetry::TelemetrySnapshot| {
+        if let Ok(line) = serde_json::to_string(snap) {
+            let mut o = out.borrow_mut();
+            let _ = writeln!(o, "{line}");
         }
     };
 
     let summary = match flags.get("frames") {
-        Some("-") => run_stream(
+        Some("-") => run_stream_metered(
             std::io::stdin(),
             &mut stream,
             DriverConfig::default(),
-            |r| emit(&mut out, r),
+            |r| emit(r),
+            metrics_every,
+            |s| metrics(s),
         ),
         Some(path) => {
             let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
-            run_stream(BufReader::new(f), &mut stream, DriverConfig::default(), |r| {
-                emit(&mut out, r)
-            })
+            run_stream_metered(
+                BufReader::new(f),
+                &mut stream,
+                DriverConfig::default(),
+                |r| emit(r),
+                metrics_every,
+                |s| metrics(s),
+            )
         }
         None => {
             // No input: simulate one CitySee-like day and replay its
@@ -586,16 +748,19 @@ pub fn stream_cmd_inner(args: &[String]) -> Result<String, String> {
             );
             let campaign = run_scenario(&scenario);
             let bytes = Replay::from_campaign(&campaign, f64::INFINITY).encode();
-            run_stream(
+            run_stream_metered(
                 std::io::Cursor::new(bytes),
                 &mut stream,
                 DriverConfig::default(),
-                |r| emit(&mut out, r),
+                |r| emit(r),
+                metrics_every,
+                |s| metrics(s),
             )
         }
     }
     .map_err(|e| e.to_string())?;
 
+    let mut out = out.into_inner();
     let stats = summary.stats;
     let _ = writeln!(
         out,
@@ -695,6 +860,117 @@ mod tests {
     fn stream_rejects_bad_flags() {
         assert!(stream_cmd_inner(&args(&["--late-records", "banana"])).is_err());
         assert!(stream_cmd_inner(&args(&["--frames", "/definitely/not/here"])).is_err());
+        assert!(stream_cmd_inner(&args(&["--metrics-every", "soon"])).is_err());
+    }
+
+    #[test]
+    fn stream_metrics_every_emits_parseable_jsonl_deltas() {
+        use eventlog::frame::{encode_records, NodeRecord};
+        use eventlog::logger::LogEntry;
+        use eventlog::{Event, EventKind};
+        let p = PacketId::new(NodeId(1), 0);
+        let recs = vec![
+            NodeRecord::new(
+                NodeId(1),
+                LogEntry {
+                    event: Event::new(NodeId(1), EventKind::Trans { to: NodeId(2) }, p),
+                    local_ts: None,
+                },
+            ),
+            NodeRecord::new(
+                NodeId(2),
+                LogEntry {
+                    event: Event::new(NodeId(2), EventKind::Recv { from: NodeId(1) }, p),
+                    local_ts: None,
+                },
+            ),
+        ];
+        let dir = std::env::temp_dir().join("refill-stream-metrics-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let frames = dir.join("frames.bin");
+        std::fs::write(&frames, encode_records(recs.iter())).unwrap();
+        // --quiet suppresses rolling reports, so every brace-opening line
+        // is a metrics delta.
+        let out = stream_cmd_inner(&args(&[
+            "--frames",
+            frames.to_str().unwrap(),
+            "--quiet",
+            "--metrics-every",
+            "1",
+        ]))
+        .unwrap();
+        let deltas: Vec<serde_json::Value> = out
+            .lines()
+            .filter(|l| l.starts_with('{'))
+            .map(|l| serde_json::from_str(l).expect("metrics line is JSON"))
+            .collect();
+        assert!(!deltas.is_empty(), "expected JSONL deltas, got: {out}");
+        for d in &deltas {
+            assert!(d.get("counters").is_some(), "delta is a snapshot: {d}");
+        }
+        // The deltas partition the run: per-counter sums equal the totals,
+        // so stream_records must add up to the records ingested.
+        let records: u64 = deltas
+            .iter()
+            .flat_map(|d| d["counters"].as_array().unwrap())
+            .filter(|c| c["name"] == "stream_records")
+            .map(|c| c["value"].as_u64().unwrap())
+            .sum();
+        assert_eq!(records, 2, "got: {out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn explain_narrates_provenance_from_an_archive() {
+        use eventlog::{Event, EventKind, LocalLog};
+        // Table II, Case 1: node 2's entire log is lost, so the recv at
+        // node 2 and the trans to node 3 must both be inferred.
+        let p = PacketId::new(NodeId(1), 0);
+        let n1 = LocalLog::from_events(
+            NodeId(1),
+            vec![Event::new(NodeId(1), EventKind::Trans { to: NodeId(2) }, p)],
+        );
+        let n3 = LocalLog::from_events(
+            NodeId(3),
+            vec![Event::new(NodeId(3), EventKind::Recv { from: NodeId(2) }, p)],
+        );
+        let dir = std::env::temp_dir().join("refill-explain-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("logs.jsonl");
+        let f = File::create(&path).unwrap();
+        archive::write_logs(&[n1, n3], BufWriter::new(f)).unwrap();
+
+        let text = explain_cmd_inner(&args(&["1:0", "--logs", path.to_str().unwrap()])).unwrap();
+        assert!(text.contains("inferred"), "got: {text}");
+        assert!(text.contains('['), "inferred events are bracketed: {text}");
+        assert!(text.contains("confidence"), "got: {text}");
+
+        // --packet works like the positional form, and --format json
+        // returns the same narrative as machine-readable fields.
+        let json = explain_cmd_inner(&args(&[
+            "--packet",
+            "1:0",
+            "--logs",
+            path.to_str().unwrap(),
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed["observed"].as_u64(), Some(2));
+        assert!(parsed["inferred"].as_u64().unwrap() >= 2, "got: {json}");
+        assert!(parsed["timeline"].is_array());
+        let c = parsed["confidence"].as_f64().unwrap();
+        assert!(c > 0.0 && c < 1.0, "partially inferred flow: {c}");
+
+        assert!(explain_cmd_inner(&args(&["--logs", path.to_str().unwrap()])).is_err());
+        assert!(explain_cmd_inner(&args(&[
+            "9:9",
+            "--logs",
+            path.to_str().unwrap()
+        ]))
+        .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -13,15 +13,23 @@
 //!     Print one packet's reconstructed event flow (optionally as
 //!     Graphviz DOT).
 //!
-//! refill profile [--logs DIR_OR_FILE] [--telemetry FILE]
-//!     Run the pipeline single-threaded with telemetry attached and print
-//!     the per-stage time/counter breakdown (simulates one CitySee-like
-//!     day when no archive is given).
+//! refill explain ORIGIN:SEQNO [--logs DIR_OR_FILE] [--format text|json]
+//!     Narrate one packet's provenance: observed vs inferred events, the
+//!     FSM rule behind each inference, the loss position and cause, and
+//!     the ledger confidence score.
 //!
-//! refill stream [--frames FILE|-] [--telemetry FILE]
+//! refill profile [--logs DIR_OR_FILE] [--workers N] [--telemetry FILE]
+//!     Run the pipeline with telemetry attached and print the per-stage
+//!     time/counter breakdown — single-threaded by default, or via the
+//!     fused columnar parallel driver with --workers (simulates one
+//!     CitySee-like day when no archive is given).
+//!
+//! refill stream [--frames FILE|-] [--metrics-every N] [--telemetry FILE]
 //!     Online reconstruction: decode framed records from a file or stdin
 //!     (or a simulated CitySee-like day when no input is given), print
-//!     rolling packet reports as windows close, then the converged summary.
+//!     rolling packet reports as windows close — plus a JSON-lines
+//!     telemetry delta every N records with --metrics-every — then the
+//!     converged summary.
 //! ```
 //!
 //! The archive format is the `eventlog::archive` JSON-lines format, so logs
@@ -44,6 +52,7 @@ fn main() -> ExitCode {
         "simulate" => cmd::simulate(&rest),
         "analyze" => cmd::analyze(&rest),
         "trace" => cmd::trace(&rest),
+        "explain" => cmd::explain(&rest),
         "profile" => cmd::profile(&rest),
         "report" => cmd::report(&rest),
         "stream" => cmd::stream(&rest),

@@ -51,6 +51,7 @@
 pub mod ctp_model;
 pub mod diagnose;
 pub mod dissemination_model;
+pub mod explain;
 pub mod flow;
 pub mod fsm;
 pub mod incremental;
@@ -62,6 +63,7 @@ pub mod sigcache;
 pub mod trace;
 
 pub use diagnose::{DiagnosedCause, Diagnoser, Diagnosis};
+pub use explain::{explain, Explanation, TimelineEntry};
 pub use flow::{EventFlow, FlowEntry};
 pub use incremental::IncrementalReconstructor;
 pub use fsm::{FsmBuilder, FsmTemplate, StateId};
@@ -75,3 +77,7 @@ pub use trace::{
 /// The telemetry crate, re-exported so downstream users of `refill` can
 /// attach recorders without naming a second dependency.
 pub use refill_telemetry as telemetry;
+
+/// The provenance crate, re-exported for the same reason: ledgers and
+/// samplers attach to a [`Reconstructor`] without a second dependency.
+pub use refill_provenance as provenance;

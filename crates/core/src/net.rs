@@ -36,6 +36,7 @@
 
 use crate::flow::EventFlow;
 use crate::fsm::{ExecPlan, FsmTemplate, Label, StateId, TransId, Transition};
+use refill_provenance::EntryOrigin;
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -143,6 +144,9 @@ pub struct RunOutput<E> {
     pub warnings: Vec<NetWarning>,
     /// Work counters for the run.
     pub stats: RunStats,
+    /// Per-entry origin classification, parallel to `flow.entries`: how each
+    /// entry came to exist (observed, intra-node jump, inter-node forcing).
+    pub origins: Vec<EntryOrigin>,
 }
 
 /// Counters of the work a run performed, kept by the runner itself (plain
@@ -296,6 +300,7 @@ impl<L: Label, E: Clone> ConnectedNet<L, E> {
             forcing: Vec::new(),
             group_last_entry: vec![None; group_count],
             stats: RunStats::default(),
+            origins: Vec::new(),
         };
         runner.drive();
         RunOutput {
@@ -303,6 +308,7 @@ impl<L: Label, E: Clone> ConnectedNet<L, E> {
             omitted: runner.omitted,
             warnings: runner.warnings,
             stats: runner.stats,
+            origins: runner.origins,
         }
     }
 }
@@ -327,6 +333,8 @@ struct Runner<'n, L: Label, E: Clone> {
     /// Last flow entry per group, for the per-node-order dependency edges.
     group_last_entry: Vec<Option<usize>>,
     stats: RunStats,
+    /// Origin of each flow entry, pushed in lockstep with `flow`.
+    origins: Vec<EntryOrigin>,
 }
 
 impl<'n, L: Label, E: Clone> Runner<'n, L, E> {
@@ -446,6 +454,18 @@ impl<'n, L: Label, E: Clone> Runner<'n, L, E> {
         }
         deps.sort_unstable();
         deps.dedup();
+        // Classify the entry's origin while the evidence is at hand: a
+        // synthesized payload pushed under an active forcing stack exists
+        // because a *peer's* evidence demanded it; one pushed with the stack
+        // empty is an intra-node jump over the node's own lost entries.
+        let origin = if observed {
+            EntryOrigin::Observed
+        } else if self.forcing.is_empty() {
+            EntryOrigin::IntraJump
+        } else {
+            EntryOrigin::InterForced
+        };
+        self.origins.push(origin);
         let idx = self.flow.push(payload, e, observed, deps);
         if observed {
             self.group_last_entry[group.idx()] = Some(idx);

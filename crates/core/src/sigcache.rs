@@ -290,6 +290,7 @@ mod tests {
             engines: Vec::new(),
             path: Vec::new(),
             delivered: false,
+            origins: Vec::new(),
         }))
     }
 

@@ -33,6 +33,9 @@ use eventlog::columnar::{ColumnarIndex, EventStore, ScratchArena};
 use eventlog::event::BASE_STATION;
 use eventlog::{Event, EventKind, MergedLog, PacketId};
 use netsim::NodeId;
+use refill_provenance::{
+    CacheDisposition, EntryOrigin, EventProvenance, FlowProvenance, ProvenanceSink,
+};
 use refill_telemetry::{Counter, Hist, NoopRecorder, Recorder, Stage, StageTimer};
 use rustc_hash::FxHashMap;
 use serde::{Deserialize, Serialize};
@@ -93,6 +96,10 @@ pub struct PacketReport {
     pub path: Vec<NodeId>,
     /// True if the base station logged the packet.
     pub delivered: bool,
+    /// Per-entry origin classification, parallel to `flow.entries`: whether
+    /// each entry was observed, inferred by an intra-node jump, or inferred
+    /// while forcing an inter-node prerequisite.
+    pub origins: Vec<EntryOrigin>,
 }
 
 impl PacketReport {
@@ -151,6 +158,9 @@ pub struct Reconstructor {
     /// Telemetry sink; [`NoopRecorder`] by default, so the hot path pays
     /// nothing unless a recorder is attached.
     recorder: Arc<dyn Recorder>,
+    /// Provenance sink; `None` by default, so the hot path pays one branch
+    /// per report unless capture is enabled.
+    provenance: Option<Arc<ProvenanceSink>>,
 }
 
 impl Reconstructor {
@@ -162,6 +172,7 @@ impl Reconstructor {
             sink: None,
             options: ReconOptions::default(),
             recorder: Arc::new(NoopRecorder),
+            provenance: None,
         }
     }
 
@@ -176,6 +187,20 @@ impl Reconstructor {
     /// [`Reconstructor::with_recorder`] was called).
     pub fn recorder(&self) -> &Arc<dyn Recorder> {
         &self.recorder
+    }
+
+    /// Attach a provenance sink; every report emitted through this instance
+    /// (any driver — they all funnel through the same report-publishing
+    /// sites) is offered to the sink's sampler and, if admitted, captured
+    /// into its ledger.
+    pub fn with_provenance(mut self, sink: Arc<ProvenanceSink>) -> Self {
+        self.provenance = Some(sink);
+        self
+    }
+
+    /// The attached provenance sink, if capture is enabled.
+    pub fn provenance(&self) -> Option<&Arc<ProvenanceSink>> {
+        self.provenance.as_ref()
     }
 
     /// Apply ablation options (see [`ReconOptions`]).
@@ -216,22 +241,37 @@ impl Reconstructor {
     pub fn reconstruct_packet(&self, packet: PacketId, events: &[Event]) -> PacketReport {
         let sink = self.effective_sink(events);
         let report = self.reconstruct_with_sink(packet, events, sink);
-        self.record_report(&report);
+        self.record_report(&report, CacheDisposition::Direct);
         report
     }
 
     /// Account an emitted report: exactly one call per report handed back
-    /// to a caller, whatever path produced it.
-    fn record_report(&self, report: &PacketReport) {
+    /// to a caller, whatever path produced it. `disposition` names the
+    /// cache path the report took, for the provenance ledger.
+    fn record_report(&self, report: &PacketReport, disposition: CacheDisposition) {
         let rec = &*self.recorder;
-        if !rec.enabled() {
-            return;
+        if rec.enabled() {
+            rec.inc(Counter::PacketsReconstructed);
+            rec.add(Counter::EventsObserved, report.flow.observed_count() as u64);
+            rec.add(Counter::EventsInferred, report.flow.inferred_count() as u64);
+            rec.add(Counter::EventsOmitted, report.omitted.len() as u64);
+            rec.observe(Hist::FlowEntries, report.flow.len() as u64);
         }
-        rec.inc(Counter::PacketsReconstructed);
-        rec.add(Counter::EventsObserved, report.flow.observed_count() as u64);
-        rec.add(Counter::EventsInferred, report.flow.inferred_count() as u64);
-        rec.add(Counter::EventsOmitted, report.omitted.len() as u64);
-        rec.observe(Hist::FlowEntries, report.flow.len() as u64);
+        if let Some(sink) = &self.provenance {
+            if sink.admit(report.packet) {
+                let entries = report
+                    .flow
+                    .entries
+                    .iter()
+                    .zip(&report.origins)
+                    .map(|(e, &origin)| EventProvenance {
+                        event: e.payload,
+                        origin,
+                    })
+                    .collect();
+                sink.record(FlowProvenance::new(report.packet, entries, disposition));
+            }
+        }
     }
 
     /// The sink the pipeline will use for this event group: the pinned one,
@@ -291,7 +331,7 @@ impl Reconstructor {
         let Some(canon) = canon else {
             rec.inc(Counter::PacketsUncacheable);
             let report = self.reconstruct_with_sink(packet, events, sink);
-            self.record_report(&report);
+            self.record_report(&report, CacheDisposition::Uncacheable);
             return report;
         };
         let hit = {
@@ -304,7 +344,7 @@ impl Reconstructor {
                 template.rehydrate(packet, &canon.nodes)
             };
             rec.inc(Counter::PacketsRehydrated);
-            self.record_report(&report);
+            self.record_report(&report, CacheDisposition::Rehydrated);
             return report;
         }
         let report = self.reconstruct_with_sink(canon.packet, &canon.events, canon.sink);
@@ -317,7 +357,7 @@ impl Reconstructor {
             let _span = StageTimer::start(rec, Stage::Cache);
             cache.insert(canon.sig, template);
         }
-        self.record_report(&out);
+        self.record_report(&out, CacheDisposition::Direct);
         out
     }
 
@@ -419,7 +459,7 @@ impl Reconstructor {
             rec.inc(Counter::PacketsUncacheable);
             let events = scratch.unpack(store, positions);
             let report = self.reconstruct_with_sink(packet, events, sink);
-            self.record_report(&report);
+            self.record_report(&report, CacheDisposition::Uncacheable);
             return report;
         };
         let hit = {
@@ -432,7 +472,7 @@ impl Reconstructor {
                 template.rehydrate(packet, &canon.nodes)
             };
             rec.inc(Counter::PacketsRehydrated);
-            self.record_report(&report);
+            self.record_report(&report, CacheDisposition::Rehydrated);
             return report;
         }
         let report = self.reconstruct_with_sink(canon.packet, &canon.events, canon.sink);
@@ -445,7 +485,7 @@ impl Reconstructor {
             let _span = StageTimer::start(rec, Stage::Cache);
             cache.insert(canon.sig, template);
         }
-        self.record_report(&out);
+        self.record_report(&out, CacheDisposition::Direct);
         out
     }
 
@@ -867,6 +907,7 @@ impl Reconstructor {
             engines,
             path,
             delivered,
+            origins: out.origins,
         }
     }
 }
@@ -1163,6 +1204,9 @@ impl ReportTemplate {
                 .collect(),
             path: self.report.path.iter().map(|&n| real(nodes, n)).collect(),
             delivered: self.report.delivered,
+            // Origins are flow-shape facts (observed vs inferred and by
+            // which rule), independent of the concrete node names.
+            origins: self.report.origins.clone(),
         }
     }
 }
@@ -1423,7 +1467,7 @@ mod tests {
         let store = eventlog::merge_logs_store(&logs);
         let index = ColumnarIndex::build(&store);
         assert_eq!(recon.reconstruct_store(&store, &index), legacy);
-        let cache = SigCache::new();
+        let cache = SigCache::default();
         assert_eq!(recon.reconstruct_store_cached(&store, &index, &cache), legacy);
         // Second cached pass rehydrates from the now-warm cache.
         assert_eq!(recon.reconstruct_store_cached(&store, &index, &cache), legacy);

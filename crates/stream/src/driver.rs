@@ -20,7 +20,7 @@
 use crate::reconstructor::{StreamReconstructor, StreamStats};
 use crossbeam::channel::bounded;
 use eventlog::frame::{FrameDecoder, FrameStats, NodeRecord};
-use refill::telemetry::{Counter, Recorder, Stage, StageTimer};
+use refill::telemetry::{Counter, Recorder, Stage, StageTimer, TelemetrySnapshot};
 use refill::PacketReport;
 use std::io::Read;
 use std::sync::Arc;
@@ -84,15 +84,46 @@ pub fn run_stream<R, F>(
     reader: R,
     stream: &mut StreamReconstructor,
     config: DriverConfig,
-    mut on_report: F,
+    on_report: F,
 ) -> std::io::Result<StreamSummary>
 where
     R: Read + Send,
     F: FnMut(&PacketReport),
 {
+    run_stream_metered(reader, stream, config, on_report, None, |_| {})
+}
+
+/// [`run_stream`] with periodic metrics export: every `metrics_every`
+/// absorbed records, `on_metrics` receives the interval delta
+/// ([`TelemetrySnapshot::diff`]) of the stream's recorder since the
+/// previous emission, plus one final delta after the flush (the flush
+/// itself reconstructs the remaining windows, so the tail interval is
+/// never empty of work). `None` disables the cadence entirely —
+/// [`run_stream`] is exactly this with `None`.
+///
+/// Deltas come from the recorder the `StreamReconstructor` carries; with a
+/// `NoopRecorder` attached every delta is empty, so metered runs only make
+/// sense on an instrumented stream.
+pub fn run_stream_metered<R, F, M>(
+    reader: R,
+    stream: &mut StreamReconstructor,
+    config: DriverConfig,
+    mut on_report: F,
+    metrics_every: Option<u64>,
+    mut on_metrics: M,
+) -> std::io::Result<StreamSummary>
+where
+    R: Read + Send,
+    F: FnMut(&PacketReport),
+    M: FnMut(&TelemetrySnapshot),
+{
     let recorder = Arc::clone(stream.recorder());
+    let metrics_recorder = Arc::clone(stream.recorder());
     let (tx, rx) = bounded::<Vec<NodeRecord>>(config.channel_batches.max(1));
     let poll_every = config.poll_every.max(1);
+    let metrics_every = metrics_every.map(|n| n.max(1));
+    let mut prev_metrics = TelemetrySnapshot::default();
+    let mut since_metrics = 0u64;
     let mut rolling_reports = 0u64;
     let mut frames = FrameStats::default();
     let mut read_error: Option<std::io::Error> = None;
@@ -156,6 +187,15 @@ where
                         on_report(&report);
                     }
                 }
+                if let Some(every) = metrics_every {
+                    since_metrics += 1;
+                    if since_metrics >= every {
+                        since_metrics = 0;
+                        let snap = metrics_recorder.snapshot();
+                        on_metrics(&snap.diff(&prev_metrics));
+                        prev_metrics = snap;
+                    }
+                }
             }
         }
         match ingest.join().expect("ingest worker does not panic") {
@@ -166,6 +206,12 @@ where
     .expect("stream workers do not panic");
 
     let reports = stream.finish();
+    if metrics_every.is_some() {
+        // The tail interval: whatever accumulated since the last cadence
+        // emission, including the final flush's reconstruction work.
+        let snap = metrics_recorder.snapshot();
+        on_metrics(&snap.diff(&prev_metrics));
+    }
     if let Some(e) = read_error {
         return Err(e);
     }
@@ -351,6 +397,68 @@ mod tests {
         assert_eq!(summary.frames.decoded, 0);
         assert_eq!(summary.frames.corrupt, 1);
         assert!(summary.reports.is_empty());
+    }
+
+    #[test]
+    fn metered_run_emits_interval_deltas_that_sum_to_the_totals() {
+        use refill::telemetry::AtomicRecorder;
+        let recs = records(20);
+        let bytes = encode_records(recs.iter());
+        let recorder = Arc::new(AtomicRecorder::new());
+        let shared: Arc<dyn Recorder> = Arc::clone(&recorder);
+        let mut stream = StreamReconstructor::new(recon().with_recorder(shared));
+        let mut deltas: Vec<TelemetrySnapshot> = Vec::new();
+        let summary = run_stream_metered(
+            Cursor::new(&bytes),
+            &mut stream,
+            DriverConfig::default(),
+            |_| {},
+            Some(7),
+            |d| deltas.push(d.clone()),
+        )
+        .unwrap();
+        assert_eq!(summary.stats.records, 40);
+        // 40 records at a cadence of 7 → 5 cadence deltas + the final one.
+        assert_eq!(deltas.len(), 40 / 7 + 1);
+        // Interval deltas are a partition of the totals.
+        let final_snap = recorder.snapshot();
+        for c in &final_snap.counters {
+            let summed: u64 = deltas.iter().map(|d| d.counter(&c.name)).sum();
+            assert_eq!(summed, c.value, "deltas must sum to total for {}", c.name);
+        }
+        assert_eq!(
+            deltas
+                .iter()
+                .map(|d| d.counter("stream_records"))
+                .sum::<u64>(),
+            40
+        );
+    }
+
+    #[test]
+    fn unmetered_run_matches_metered_reports() {
+        let recs = records(12);
+        let bytes = encode_records(recs.iter());
+        let run = |metered: bool| {
+            let mut stream = StreamReconstructor::new(recon());
+            if metered {
+                run_stream_metered(
+                    Cursor::new(&bytes),
+                    &mut stream,
+                    DriverConfig::default(),
+                    |_| {},
+                    Some(5),
+                    |_| {},
+                )
+                .unwrap()
+                .reports
+            } else {
+                run_stream(Cursor::new(&bytes), &mut stream, DriverConfig::default(), |_| {})
+                    .unwrap()
+                    .reports
+            }
+        };
+        assert_eq!(run(true), run(false), "metering must not perturb output");
     }
 
     /// A reader that fails after a valid prefix: the decodable prefix must

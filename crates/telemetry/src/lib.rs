@@ -764,6 +764,110 @@ impl TelemetrySnapshot {
         }
         out
     }
+
+    /// The interval delta `self - prev`, for periodic export: counters
+    /// subtract by name, stages subtract calls and totals, histograms
+    /// subtract per bucket (zero-count buckets are dropped, matching the
+    /// populated-buckets-only snapshot invariant). Names absent from `prev`
+    /// — a counter that first moved during the interval, or a snapshot from
+    /// an older build — subtract from zero. A histogram's `max` is a
+    /// high-water mark, not a sum, so the delta keeps `self`'s value.
+    ///
+    /// All subtraction saturates: a `prev` taken *after* `self` (caller
+    /// bug) yields zeros, never wrapped garbage.
+    pub fn diff(&self, prev: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .map(|c| CounterSnapshot {
+                name: c.name.clone(),
+                value: c.value.saturating_sub(prev.counter(&c.name)),
+            })
+            .collect();
+        let stages = self
+            .stages
+            .iter()
+            .map(|s| {
+                // Direct lookup, not `stage()`: that accessor filters out
+                // zero-call stages, which here would misread "present but
+                // idle" as "absent".
+                let p = prev.stages.iter().find(|p| p.name == s.name);
+                StageSnapshot {
+                    name: s.name.clone(),
+                    calls: s.calls.saturating_sub(p.map_or(0, |p| p.calls)),
+                    total_ns: s.total_ns.saturating_sub(p.map_or(0, |p| p.total_ns)),
+                }
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| {
+                let p = prev.histograms.iter().find(|p| p.name == h.name);
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .map(|b| {
+                        let prev_count = p
+                            .and_then(|p| p.buckets.iter().find(|pb| pb.le == b.le))
+                            .map_or(0, |pb| pb.count);
+                        BucketSnapshot {
+                            le: b.le,
+                            count: b.count.saturating_sub(prev_count),
+                        }
+                    })
+                    .filter(|b| b.count > 0)
+                    .collect();
+                HistogramSnapshot {
+                    name: h.name.clone(),
+                    count: h.count.saturating_sub(p.map_or(0, |p| p.count)),
+                    sum: h.sum.wrapping_sub(p.map_or(0, |p| p.sum)),
+                    max: h.max,
+                    buckets,
+                }
+            })
+            .collect();
+        TelemetrySnapshot {
+            counters,
+            stages,
+            histograms,
+        }
+    }
+
+    /// Render in the Prometheus text exposition format (version 0.0.4).
+    /// Counters become `refill_<name>`, stage timings the pair
+    /// `refill_stage_<name>_calls` / `refill_stage_<name>_ns_total`, and
+    /// histograms the standard cumulative `_bucket{le=...}` / `_sum` /
+    /// `_count` families. The overflow bucket is rendered only as
+    /// `le="+Inf"`, never as its internal `u64::MAX` bound.
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for c in &self.counters {
+            let _ = writeln!(out, "# TYPE refill_{} counter", c.name);
+            let _ = writeln!(out, "refill_{} {}", c.name, c.value);
+        }
+        for s in &self.stages {
+            let _ = writeln!(out, "# TYPE refill_stage_{}_calls counter", s.name);
+            let _ = writeln!(out, "refill_stage_{}_calls {}", s.name, s.calls);
+            let _ = writeln!(out, "# TYPE refill_stage_{}_ns_total counter", s.name);
+            let _ = writeln!(out, "refill_stage_{}_ns_total {}", s.name, s.total_ns);
+        }
+        for h in &self.histograms {
+            let _ = writeln!(out, "# TYPE refill_{} histogram", h.name);
+            let mut cum = 0u64;
+            for b in &h.buckets {
+                cum += b.count;
+                if b.le < u64::MAX {
+                    let _ = writeln!(out, "refill_{}_bucket{{le=\"{}\"}} {}", h.name, b.le, cum);
+                }
+            }
+            let _ = writeln!(out, "refill_{}_bucket{{le=\"+Inf\"}} {}", h.name, h.count);
+            let _ = writeln!(out, "refill_{}_sum {}", h.name, h.sum);
+            let _ = writeln!(out, "refill_{}_count {}", h.name, h.count);
+        }
+        out
+    }
 }
 
 /// Render nanoseconds with a readable unit.
@@ -937,5 +1041,111 @@ mod tests {
         assert_eq!(fmt_ns(1_500), "1.50us");
         assert_eq!(fmt_ns(2_500_000), "2.50ms");
         assert_eq!(fmt_ns(3_200_000_000), "3.20s");
+    }
+
+    #[test]
+    fn diff_of_identical_snapshots_is_all_zero() {
+        let rec = AtomicRecorder::new();
+        rec.add(Counter::CacheHits, 42);
+        rec.record_stage(Stage::Merge, 1_000);
+        rec.observe(Hist::FlowEntries, 5);
+        let snap = rec.snapshot();
+        let delta = snap.diff(&snap);
+        assert!(delta.counters.iter().all(|c| c.value == 0));
+        assert!(delta.stages.iter().all(|s| s.calls == 0 && s.total_ns == 0));
+        for h in &delta.histograms {
+            assert_eq!(h.count, 0);
+            assert_eq!(h.sum, 0);
+            assert!(h.buckets.is_empty(), "zero-delta buckets are dropped");
+        }
+        // The name sets survive intact — an exporter can rely on them.
+        assert_eq!(delta.counters.len(), snap.counters.len());
+        assert_eq!(delta.stages.len(), snap.stages.len());
+        assert_eq!(delta.histograms.len(), snap.histograms.len());
+    }
+
+    #[test]
+    fn diff_against_empty_prev_returns_full_values() {
+        // The fresh-counter case: a counter (or the whole snapshot) that
+        // first moved during the interval subtracts from zero.
+        let rec = AtomicRecorder::new();
+        rec.add(Counter::EventsInferred, 7);
+        rec.record_stage(Stage::Transition, 2_500);
+        rec.observe(Hist::GroupEvents, 3);
+        let snap = rec.snapshot();
+        let delta = snap.diff(&TelemetrySnapshot::default());
+        assert_eq!(delta.counter("events_inferred"), 7);
+        assert_eq!(delta.stage("transition").map(|s| s.total_ns), Some(2_500));
+        let h = delta.histogram("group_events").expect("populated");
+        assert_eq!(h.count, 1);
+        assert_eq!(h.sum, 3);
+        assert_eq!(h.buckets, vec![BucketSnapshot { le: 3, count: 1 }]);
+    }
+
+    #[test]
+    fn diff_subtracts_interval_activity() {
+        let rec = AtomicRecorder::new();
+        rec.add(Counter::CacheHits, 10);
+        rec.record_stage(Stage::Merge, 1_000);
+        rec.observe(Hist::FlowEntries, 2);
+        let before = rec.snapshot();
+        rec.add(Counter::CacheHits, 5);
+        rec.add(Counter::CacheMisses, 1);
+        rec.record_stage(Stage::Merge, 500);
+        rec.observe(Hist::FlowEntries, 2);
+        rec.observe(Hist::FlowEntries, 9);
+        let after = rec.snapshot();
+        let delta = after.diff(&before);
+        assert_eq!(delta.counter("cache_hits"), 5);
+        assert_eq!(delta.counter("cache_misses"), 1, "fresh counter");
+        let s = delta.stage("merge").expect("one new span");
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.total_ns, 500);
+        let h = delta.histogram("flow_entries").expect("two new obs");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 11);
+        assert_eq!(
+            h.buckets,
+            vec![
+                BucketSnapshot { le: 3, count: 1 },
+                BucketSnapshot { le: 15, count: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let rec = AtomicRecorder::new();
+        rec.add(Counter::CacheHits, 3);
+        rec.record_stage(Stage::Merge, 1_500);
+        rec.observe(Hist::FlowEntries, 0);
+        rec.observe(Hist::FlowEntries, 3);
+        rec.observe(Hist::FlowEntries, 9);
+        let text = rec.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE refill_cache_hits counter\nrefill_cache_hits 3\n"));
+        assert!(text.contains("refill_stage_merge_calls 1\n"));
+        assert!(text.contains("refill_stage_merge_ns_total 1500\n"));
+        assert!(text.contains("# TYPE refill_flow_entries histogram\n"));
+        // Buckets are cumulative: le=0 holds 1, le=3 holds 2, le=15 holds 3.
+        assert!(text.contains("refill_flow_entries_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("refill_flow_entries_bucket{le=\"3\"} 2\n"));
+        assert!(text.contains("refill_flow_entries_bucket{le=\"15\"} 3\n"));
+        assert!(text.contains("refill_flow_entries_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("refill_flow_entries_sum 12\n"));
+        assert!(text.contains("refill_flow_entries_count 3\n"));
+        // The overflow bucket's internal u64::MAX bound must never leak.
+        assert!(!text.contains(&u64::MAX.to_string()));
+        // Every line is either a comment or `name value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# TYPE refill_")
+                    || line
+                        .split_once(' ')
+                        .is_some_and(|(name, v)| {
+                            name.starts_with("refill_") && v.parse::<u64>().is_ok()
+                        }),
+                "malformed exposition line: {line}"
+            );
+        }
     }
 }
