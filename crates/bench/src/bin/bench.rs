@@ -246,6 +246,57 @@ fn main() {
         reps,
     );
 
+    // Durable segment store: append the campaign's packed rows into a
+    // fresh on-disk store (open + chunked appends + fsync), full-scan it
+    // through the query engine, and reopen it cold — the crash recovery
+    // scan. Each append rep rebuilds the directory from scratch so the
+    // timing never measures an already-populated store; the last rep's
+    // store stays on disk for the query and recovery measurements.
+    let store_dir = std::env::temp_dir().join(format!("refill-bench-store-{}", std::process::id()));
+    let event_rows: Vec<(eventlog::PackedEvent, u64)> = store
+        .records()
+        .iter()
+        .copied()
+        .zip(store.ts_column().iter().copied())
+        .collect();
+    let store_append_s = time_call(
+        || {
+            let _ = std::fs::remove_dir_all(&store_dir);
+            std::fs::create_dir_all(&store_dir).expect("create store dir");
+            let (seg, _) = refill_store::SegmentStore::open(&store_dir).expect("open store");
+            let mut seg = seg.with_roll_bytes(4 * 1024 * 1024);
+            for chunk in event_rows.chunks(64 * 1024) {
+                seg.append_events(chunk).expect("append events");
+            }
+            seg.sync().expect("sync store");
+            seg.total_events()
+        },
+        reps,
+    );
+    let (seg, _) = refill_store::SegmentStore::open(&store_dir).expect("reopen store");
+    let store_segments = seg.segments().len();
+    let query_scan_s = time_call(
+        || {
+            let out = seg
+                .query(&refill_store::Query::default())
+                .expect("full-scan query");
+            assert_eq!(out.stats.event_rows_matched, event_rows.len() as u64);
+            out.stats.event_rows_scanned
+        },
+        reps,
+    );
+    drop(seg);
+    let recovery_s = time_call(
+        || {
+            let (seg, report) = refill_store::SegmentStore::open(&store_dir).expect("recovery open");
+            assert_eq!(seg.total_events(), event_rows.len() as u64);
+            report.segments
+        },
+        reps,
+    );
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store_meps = |secs: f64| event_rows.len() as f64 / secs / 1e6;
+
     let telemetry = recorder.snapshot();
     // Stage totals accumulate over every call, including the warm-up, so
     // the per-run figure divides by reps + 1.
@@ -316,6 +367,9 @@ fn main() {
         stream_packets: Some(stream_packets as u64),
         stream_cold_records_per_sec: Some(stream_records as f64 / stream_cold_s),
         stream_cold_packets_per_sec: Some(stream_packets as f64 / stream_cold_s),
+        store_append_mevents_per_sec: Some(store_meps(store_append_s)),
+        query_scan_mevents_per_sec: Some(store_meps(query_scan_s)),
+        recovery_ms: Some(recovery_s * 1e3),
         peak_rss_kib: peak_rss_kib(),
     };
 
@@ -368,6 +422,14 @@ fn main() {
         stream_records as f64 / stream_cold_s,
         stream_packets as f64 / stream_cold_s,
         stream_frames.corrupt,
+    );
+    eprintln!(
+        "[bench] store: {:.1} Mevents/sec append, {:.1} Mevents/sec full scan, \
+         {:.1} ms recovery open ({} segments)",
+        store_meps(store_append_s),
+        store_meps(query_scan_s),
+        recovery_s * 1e3,
+        store_segments,
     );
     // Keep the default driver honest: the fused path built its index off
     // the packed store with zero intermediate merged Vec<Event>; assert

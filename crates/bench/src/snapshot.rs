@@ -102,6 +102,15 @@ pub struct BenchSnapshot {
     pub stream_packets: Option<u64>,
     pub stream_cold_records_per_sec: Option<f64>,
     pub stream_cold_packets_per_sec: Option<f64>,
+    /// Durable segment store: event-row append throughput (open + chunked
+    /// appends + fsync into a fresh directory).
+    pub store_append_mevents_per_sec: Option<f64>,
+    /// Full-scan query throughput over the persisted store (every block
+    /// decoded and CRC-checked, no pushdown skips).
+    pub query_scan_mevents_per_sec: Option<f64>,
+    /// Cold `SegmentStore::open` on the persisted store — the crash
+    /// recovery scan (manifest reconciliation + block validation).
+    pub recovery_ms: Option<f64>,
     pub peak_rss_kib: Option<u64>,
 }
 
@@ -175,6 +184,22 @@ mod tests {
     fn snapshot_carries_provenance_fields() {
         let raw: serde_json::Value = serde_json::from_str(&checked_in()).unwrap();
         for key in ["provenance_overhead_ratio", "explain_us_per_flow"] {
+            assert!(
+                raw.get(key).is_some(),
+                "checked-in snapshot is missing {key}"
+            );
+        }
+    }
+
+    /// Likewise for the durable-store fields.
+    #[test]
+    fn snapshot_carries_store_fields() {
+        let raw: serde_json::Value = serde_json::from_str(&checked_in()).unwrap();
+        for key in [
+            "store_append_mevents_per_sec",
+            "query_scan_mevents_per_sec",
+            "recovery_ms",
+        ] {
             assert!(
                 raw.get(key).is_some(),
                 "checked-in snapshot is missing {key}"

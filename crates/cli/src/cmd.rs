@@ -25,11 +25,17 @@ USAGE:
   refill analyze  --logs DIR_OR_FILE [--sink N] [--period SECS] [--stats] [--telemetry FILE]
   refill trace    --logs DIR_OR_FILE --packet ORIGIN:SEQNO [--sink N] [--dot] [--stats] [--telemetry FILE]
   refill explain  ORIGIN:SEQNO [--logs DIR_OR_FILE] [--sink N] [--seed N] [--format text|json]
-  refill profile  [--logs DIR_OR_FILE] [--sink N] [--seed N] [--workers N] [--telemetry FILE]
+  refill profile  [--logs DIR_OR_FILE] [--sink N] [--seed N] [--workers N]
+                  [--format table|json] [--telemetry FILE]
   refill report   [--scale small|standard|paper] [--seed N]
   refill stream   [--frames FILE|-] [--sink N] [--lane-capacity N]
                   [--late-records N] [--late-us N] [--metrics-every N]
-                  [--quiet] [--telemetry FILE]
+                  [--store DIR] [--quiet] [--telemetry FILE]
+  refill store    --out DIR [--scale small|standard|paper] [--seed N]
+                  [--logs DIR_OR_FILE] [--sink N] [--period SECS] [--compact]
+  refill query    --store DIR [--origin N] [--seqno LO:HI] [--since US] [--until US]
+                  [--cause LABEL] [--disposition observed|intra|inter]
+                  [--fig fig4|fig5|fig8] [--stats]
   refill help
 
   stream reconstructs online: framed records (eventlog::frame wire format)
@@ -52,7 +58,22 @@ USAGE:
   profile runs the whole pipeline with telemetry attached and prints a
   per-stage breakdown; single-threaded by default so stage totals add up
   to wall time, or --workers N for the fused columnar parallel driver.
-  With no --logs it simulates one CitySee-like day first.";
+  With no --logs it simulates one CitySee-like day first. --format json
+  prints the full telemetry snapshot as JSON instead of the table.
+  store persists a run into a durable, crash-recoverable segment store:
+  packed event rows plus node-abstract report templates with diagnosis
+  sidecars. Without --logs it simulates a scenario (truth fates included,
+  scenario.json saved alongside for topology-dependent figures); with
+  --logs it reconstructs and diagnoses an archive. --compact merges the
+  segments into one time-sorted segment afterwards.
+  query evaluates predicates over a store without re-running
+  reconstruction, using segment min/max pushdown. --since/--until (local
+  clock, micros) select event rows only; --cause/--disposition select
+  report rows only. --fig renders a figure CSV (Figures 4, 5 and 8) from
+  the stored sidecars, byte-identical to the in-memory analysis.
+  stream --store DIR appends every absorbed record and emitted report to
+  a store as it runs; re-running after a kill resumes from the durable
+  prefix and converges to the same reports as an uninterrupted run.";
 
 /// Tiny flag parser: `--key value` pairs plus boolean `--key` switches.
 struct Flags {
@@ -557,7 +578,19 @@ pub fn explain_cmd_inner(args: &[String]) -> Result<String, String> {
 /// table reads as "where did the work go" and the stage totals exceed
 /// wall time by roughly the achieved parallelism.
 pub fn profile(args: &[String]) -> Result<(), String> {
+    print!("{}", profile_cmd_inner(args)?);
+    Ok(())
+}
+
+/// `refill profile`, returning the printed output (testable). With
+/// `--format json` the output is the full telemetry snapshot as JSON —
+/// the same document `--telemetry FILE` writes — instead of the table.
+pub fn profile_cmd_inner(args: &[String]) -> Result<String, String> {
     let flags = Flags::parse(args, &[])?;
+    let format = flags.get("format").unwrap_or("table");
+    if !matches!(format, "table" | "json") {
+        return Err(format!("unknown format '{format}' (expected table or json)"));
+    }
     let mut sink_from_sim = None;
     let logs = match flags.get("logs") {
         Some(path) => read_archive(path)?,
@@ -631,21 +664,33 @@ pub fn profile(args: &[String]) -> Result<(), String> {
     let secs = t0.elapsed().as_secs_f64();
 
     let snapshot = recorder.snapshot();
-    print!("{}", snapshot.render_table());
-    let partitions = snapshot.counter("merge_partitions");
-    if partitions > 1 {
-        println!(
-            "\nmerge ran time-partitioned over {partitions} strips \
-             (merge row = wall time; merge_partition rows sum worker CPU time)"
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    if format == "json" {
+        // Machine-readable mode: stdout is exactly one JSON document.
+        out.push_str(&snapshot.to_json());
+        out.push('\n');
+    } else {
+        out.push_str(&snapshot.render_table());
+        let partitions = snapshot.counter("merge_partitions");
+        if partitions > 1 {
+            let _ = writeln!(
+                out,
+                "\nmerge ran time-partitioned over {partitions} strips \
+                 (merge row = wall time; merge_partition rows sum worker CPU time)"
+            );
+        }
+        let throughput = if secs > 0.0 { packets as f64 / secs } else { 0.0 };
+        let mode = if workers > 1 {
+            format!("fused columnar, {workers} workers")
+        } else {
+            "single-threaded".to_owned()
+        };
+        let _ = writeln!(
+            out,
+            "\n{packets} packets in {secs:.3}s ({throughput:.0} packets/sec, {mode})"
         );
     }
-    let throughput = if secs > 0.0 { packets as f64 / secs } else { 0.0 };
-    let mode = if workers > 1 {
-        format!("fused columnar, {workers} workers")
-    } else {
-        "single-threaded".to_owned()
-    };
-    println!("\n{packets} packets in {secs:.3}s ({throughput:.0} packets/sec, {mode})");
     if let Some(path) = flags.get("telemetry") {
         std::fs::write(path, snapshot.to_json()).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("telemetry written to {path}");
@@ -654,7 +699,7 @@ pub fn profile(args: &[String]) -> Result<(), String> {
         std::fs::write(path, snapshot.render_prometheus()).map_err(|e| format!("{path}: {e}"))?;
         eprintln!("prometheus exposition written to {path}");
     }
-    Ok(())
+    Ok(out)
 }
 
 /// `refill stream`: online reconstruction over framed records.
@@ -665,7 +710,10 @@ pub fn stream(args: &[String]) -> Result<(), String> {
 
 /// `refill stream`, returning the printed output (testable).
 pub fn stream_cmd_inner(args: &[String]) -> Result<String, String> {
-    use refill_stream::{run_stream_metered, DriverConfig, Replay, StreamConfig, StreamReconstructor};
+    use refill_stream::{
+        run_stream_checkpointed, run_stream_metered, DriverConfig, Replay, StreamConfig,
+        StreamReconstructor,
+    };
 
     let flags = Flags::parse(args, &["quiet"])?;
     let metrics_every: Option<u64> = flags
@@ -712,25 +760,11 @@ pub fn stream_cmd_inner(args: &[String]) -> Result<String, String> {
         }
     };
 
-    let summary = match flags.get("frames") {
-        Some("-") => run_stream_metered(
-            std::io::stdin(),
-            &mut stream,
-            DriverConfig::default(),
-            |r| emit(r),
-            metrics_every,
-            |s| metrics(s),
-        ),
+    let reader: Box<dyn std::io::Read + Send> = match flags.get("frames") {
+        Some("-") => Box::new(std::io::stdin()),
         Some(path) => {
             let f = File::open(path).map_err(|e| format!("{path}: {e}"))?;
-            run_stream_metered(
-                BufReader::new(f),
-                &mut stream,
-                DriverConfig::default(),
-                |r| emit(r),
-                metrics_every,
-                |s| metrics(s),
-            )
+            Box::new(BufReader::new(f))
         }
         None => {
             // No input: simulate one CitySee-like day and replay its
@@ -748,17 +782,56 @@ pub fn stream_cmd_inner(args: &[String]) -> Result<String, String> {
             );
             let campaign = run_scenario(&scenario);
             let bytes = Replay::from_campaign(&campaign, f64::INFINITY).encode();
-            run_stream_metered(
-                std::io::Cursor::new(bytes),
+            Box::new(std::io::Cursor::new(bytes))
+        }
+    };
+
+    let mut store_note = None;
+    let summary = match flags.get("store") {
+        Some(dir) => {
+            use refill_store::{SegmentStore, StoreCheckpoint};
+            if metrics_every.is_some() {
+                return Err("--metrics-every is not supported with --store".into());
+            }
+            let (st, _) = SegmentStore::open(dir).map_err(|e| e.to_string())?;
+            let mut ckpt = StoreCheckpoint::new(st);
+            let resume = ckpt.resume_records().map_err(|e| e.to_string())?;
+            if !resume.is_empty() {
+                eprintln!(
+                    "resuming from {} durable records in {dir}…",
+                    resume.len()
+                );
+                for rec in resume {
+                    stream.ingest(rec);
+                }
+            }
+            let summary = run_stream_checkpointed(
+                reader,
                 &mut stream,
                 DriverConfig::default(),
                 |r| emit(r),
-                metrics_every,
-                |s| metrics(s),
+                &mut ckpt,
             )
+            .map_err(|e| e.to_string())?;
+            let st = ckpt.finish().map_err(|e| e.to_string())?;
+            store_note = Some(format!(
+                "store: {} event rows, {} report rows in {} segments at {dir}",
+                st.total_events(),
+                st.total_reports(),
+                st.segments().len()
+            ));
+            summary
         }
-    }
-    .map_err(|e| e.to_string())?;
+        None => run_stream_metered(
+            reader,
+            &mut stream,
+            DriverConfig::default(),
+            |r| emit(r),
+            metrics_every,
+            |s| metrics(s),
+        )
+        .map_err(|e| e.to_string())?,
+    };
 
     let mut out = out.into_inner();
     let stats = summary.stats;
@@ -778,7 +851,359 @@ pub fn stream_cmd_inner(args: &[String]) -> Result<String, String> {
         summary.reports.len(),
         summary.rolling_reports
     );
+    if let Some(note) = store_note {
+        let _ = writeln!(out, "{note}");
+    }
     write_telemetry(&flags, &recorder)?;
+    Ok(out)
+}
+
+/// `refill store`, printing.
+pub fn store(args: &[String]) -> Result<(), String> {
+    print!("{}", store_cmd_inner(args)?);
+    Ok(())
+}
+
+/// `refill store`, returning the printed output (testable): persist a
+/// run's merged events and reconstructed reports (with diagnosis
+/// sidecars) into a durable segment store. Without `--logs` a scenario is
+/// simulated first and the sidecars carry ground-truth fates; with
+/// `--logs` an archive is reconstructed and diagnosed (no truth).
+pub fn store_cmd_inner(args: &[String]) -> Result<String, String> {
+    use refill_store::{ReportRow, SegmentStore, Sidecar};
+    let flags = Flags::parse(args, &["compact"])?;
+    let out_dir = PathBuf::from(flags.get("out").ok_or("--out is required")?);
+
+    let (event_rows, report_rows, scenario_json) = match flags.get("logs") {
+        Some(path) => {
+            let logs = read_archive(path)?;
+            let (recon, sink) = build_reconstructor(&flags)?;
+            let period: u64 = flags
+                .get("period")
+                .map(|p| p.parse().map_err(|_| "bad period"))
+                .transpose()?
+                .unwrap_or(30);
+            let bs = logs
+                .iter()
+                .find(|l| l.node == BASE_STATION)
+                .cloned()
+                .unwrap_or_else(|| eventlog::logger::LocalLog::new(BASE_STATION));
+            let source_view = baselines::source_view::SourceView::from_bs_log(
+                &bs,
+                SimDuration::from_secs(period),
+            );
+            let diagnoser = match sink {
+                Some(s) => Diagnoser::new().with_sink(s),
+                None => Diagnoser::new(),
+            };
+            let columns = eventlog::merge_logs_store(&logs);
+            let event_rows: Vec<_> = columns
+                .records()
+                .iter()
+                .copied()
+                .zip(columns.ts_column().iter().copied())
+                .collect();
+            let merged = columns.to_merged();
+            let index = merged.packet_index();
+            let cache = SigCache::default();
+            let rows: Vec<ReportRow> = index
+                .iter()
+                .map(|(id, events)| {
+                    let report = recon.reconstruct_packet_cached(id, events, &cache);
+                    let est_time = source_view.estimate_time(id);
+                    let diagnosis = diagnoser.diagnose(&report, est_time);
+                    ReportRow::from_report(
+                        &report,
+                        Some(Sidecar {
+                            est_time,
+                            diagnosis,
+                            fate: None,
+                        }),
+                    )
+                })
+                .collect();
+            (event_rows, rows, None)
+        }
+        None => {
+            // Simulation mode: scenario.json rides along so
+            // `query --fig fig8` can rebuild the topology.
+            let mut scenario = match flags.get("scale").unwrap_or("small") {
+                "small" => Scenario::small(),
+                "standard" => Scenario::standard(),
+                "paper" => Scenario::paper(),
+                other => return Err(format!("unknown scale '{other}'")),
+            };
+            if let Some(seed) = flags.get("seed") {
+                scenario.seed = seed.parse().map_err(|_| "bad seed")?;
+            }
+            eprintln!(
+                "simulating and analyzing '{}' (seed {})…",
+                scenario.name, scenario.seed
+            );
+            let campaign = run_scenario(&scenario);
+            let analysis = analyze_campaign(&campaign);
+            let (_, _, _, config) = scenario.build();
+            let recon = Reconstructor::new(CtpVocabulary {
+                log_origin: config.log_origin,
+                log_enqueue: config.log_enqueue,
+            })
+            .with_sink(campaign.topology.sink());
+            let index = campaign.merged.packet_index();
+            let cache = SigCache::default();
+            let rows: Vec<ReportRow> = analysis
+                .records
+                .iter()
+                .map(|r| {
+                    let events = index.get(r.packet).unwrap_or(&[]);
+                    let report = recon.reconstruct_packet_cached(r.packet, events, &cache);
+                    ReportRow::from_report(
+                        &report,
+                        Some(Sidecar {
+                            est_time: r.est_time,
+                            diagnosis: r.diagnosis.clone(),
+                            fate: Some(r.fate),
+                        }),
+                    )
+                })
+                .collect();
+            let columns = eventlog::merge_logs_store(&campaign.collected);
+            let event_rows: Vec<_> = columns
+                .records()
+                .iter()
+                .copied()
+                .zip(columns.ts_column().iter().copied())
+                .collect();
+            let json = serde_json::to_string_pretty(&scenario).map_err(|e| e.to_string())?;
+            (event_rows, rows, Some(json))
+        }
+    };
+
+    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+    let (st, recovery) = SegmentStore::open(&out_dir).map_err(|e| e.to_string())?;
+    let mut st = st;
+    for chunk in event_rows.chunks(4096) {
+        st.append_events(chunk).map_err(|e| e.to_string())?;
+    }
+    for chunk in report_rows.chunks(512) {
+        st.append_reports(chunk).map_err(|e| e.to_string())?;
+    }
+    st.sync().map_err(|e| e.to_string())?;
+    if let Some(json) = scenario_json {
+        std::fs::write(out_dir.join("scenario.json"), json).map_err(|e| e.to_string())?;
+    }
+
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    if recovery.torn_bytes > 0 || recovery.pruned_files > 0 {
+        let _ = writeln!(
+            out,
+            "recovered existing store ({} torn bytes truncated, {} stray files pruned)",
+            recovery.torn_bytes, recovery.pruned_files
+        );
+    }
+    let _ = writeln!(
+        out,
+        "store {} holds {} event rows and {} report rows in {} segments",
+        out_dir.display(),
+        st.total_events(),
+        st.total_reports(),
+        st.segments().len()
+    );
+    if flags.has("compact") {
+        let report = st.compact().map_err(|e| e.to_string())?;
+        let _ = writeln!(
+            out,
+            "compacted {} segments into 1 ({} superseded reports dropped)",
+            report.merged_segments, report.dropped_reports
+        );
+    }
+    let _ = writeln!(
+        out,
+        "next: refill query --store {} [--fig fig4|fig5|fig8]",
+        out_dir.display()
+    );
+    Ok(out)
+}
+
+fn parse_cause(s: &str) -> Result<refill::DiagnosedCause, String> {
+    citysee::figures::CAUSE_ORDER
+        .into_iter()
+        .find(|c| {
+            let label = c.label();
+            label == s || label.replace(' ', "_") == s
+        })
+        .ok_or_else(|| {
+            let labels: Vec<String> = citysee::figures::CAUSE_ORDER
+                .into_iter()
+                .map(|c| c.label().replace(' ', "_"))
+                .collect();
+            format!("unknown cause '{s}' (expected one of: {})", labels.join(", "))
+        })
+}
+
+/// `refill query`, printing.
+pub fn query(args: &[String]) -> Result<(), String> {
+    print!("{}", query_cmd_inner(args)?);
+    Ok(())
+}
+
+/// `refill query`, returning the printed output (testable): evaluate
+/// predicates over a segment store without re-running reconstruction.
+/// `--fig` renders a figure CSV from the stored sidecars instead of the
+/// summary (over the converged per-packet view of the matched reports).
+pub fn query_cmd_inner(args: &[String]) -> Result<String, String> {
+    use refill::provenance::EntryOrigin;
+    use refill_store::{Query, SegmentStore};
+    let flags = Flags::parse(args, &["stats"])?;
+    let dir = PathBuf::from(flags.get("store").ok_or("--store is required")?);
+    let (store, _) = SegmentStore::open(&dir).map_err(|e| e.to_string())?;
+
+    let mut q = Query::default();
+    if let Some(v) = flags.get("origin") {
+        q.origin = Some(NodeId(v.parse().map_err(|_| "bad origin id")?));
+    }
+    if let Some(v) = flags.get("seqno") {
+        let (lo, hi) = match v.split_once(':') {
+            Some((a, b)) => (
+                a.parse().map_err(|_| "bad seqno range")?,
+                b.parse().map_err(|_| "bad seqno range")?,
+            ),
+            None => {
+                let n: u32 = v.parse().map_err(|_| "bad seqno")?;
+                (n, n)
+            }
+        };
+        q.seqno = Some((lo, hi));
+    }
+    let since = flags
+        .get("since")
+        .map(|v| v.parse::<u64>().map_err(|_| "bad --since"))
+        .transpose()?;
+    let until = flags
+        .get("until")
+        .map(|v| v.parse::<u64>().map_err(|_| "bad --until"))
+        .transpose()?;
+    if since.is_some() || until.is_some() {
+        q.ts = Some((since.unwrap_or(0), until.unwrap_or(u64::MAX)));
+    }
+    if let Some(v) = flags.get("cause") {
+        q.cause = Some(parse_cause(v)?);
+    }
+    if let Some(v) = flags.get("disposition") {
+        q.disposition = Some(match v {
+            "observed" => EntryOrigin::Observed,
+            "intra" | "intra-jump" => EntryOrigin::IntraJump,
+            "inter" | "inter-forced" => EntryOrigin::InterForced,
+            other => {
+                return Err(format!(
+                    "unknown disposition '{other}' (expected observed, intra or inter)"
+                ))
+            }
+        });
+    }
+
+    let result = store.query(&q).map_err(|e| e.to_string())?;
+
+    // Converged per-packet view of the matched reports: last write wins,
+    // sorted by packet id (the same view `latest_reports` exposes).
+    let mut latest = std::collections::BTreeMap::new();
+    for row in &result.reports {
+        latest.insert(row.packet, row.clone());
+    }
+
+    if let Some(figure) = flags.get("fig") {
+        let records = latest
+            .values()
+            .map(|row| {
+                let sidecar = row.sidecar.clone().ok_or_else(|| {
+                    format!("report row for {} has no diagnosis sidecar", row.packet)
+                })?;
+                Ok(citysee::PacketRecord {
+                    packet: row.packet,
+                    est_time: sidecar.est_time,
+                    diagnosis: sidecar.diagnosis,
+                    fate: sidecar.fate.unwrap_or(eventlog::PacketFate::Delivered {
+                        at: netsim::SimTime::ZERO,
+                    }),
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        use citysee::figures as figs;
+        return match figure {
+            "fig4" => Ok(figs::render_loss_points_csv(&figs::fig4_from_records(
+                &records,
+            ))),
+            "fig5" => Ok(figs::render_loss_points_csv(&figs::fig5_from_records(
+                &records,
+            ))),
+            "fig8" => {
+                let path = dir.join("scenario.json");
+                let text = std::fs::read_to_string(&path).map_err(|e| {
+                    format!(
+                        "{}: {e} (fig8 needs the scenario.json a simulation-built store carries)",
+                        path.display()
+                    )
+                })?;
+                let scenario: Scenario =
+                    serde_json::from_str(&text).map_err(|e| e.to_string())?;
+                let (topology, _, _, _) = scenario.build();
+                Ok(figs::render_fig8_csv(&figs::fig8_from_records(
+                    &records, &topology,
+                )))
+            }
+            other => Err(format!(
+                "unknown figure '{other}' (expected fig4, fig5 or fig8)"
+            )),
+        };
+    }
+
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(
+        out,
+        "matched {} event rows and {} report rows ({} packets)",
+        result.events.len(),
+        result.reports.len(),
+        latest.len()
+    );
+    // Loss-cause table over the converged view, mirroring `analyze`.
+    let lost: Vec<_> = latest
+        .values()
+        .filter_map(|r| r.sidecar.as_ref())
+        .filter(|s| !s.diagnosis.delivered)
+        .collect();
+    if !lost.is_empty() {
+        let _ = writeln!(out, "\nloss causes ({} lost):", lost.len());
+        for cause in citysee::figures::CAUSE_ORDER {
+            let count = lost
+                .iter()
+                .filter(|s| {
+                    s.diagnosis.cause.unwrap_or(refill::DiagnosedCause::Unknown) == cause
+                })
+                .count();
+            if count > 0 {
+                let _ = writeln!(
+                    out,
+                    "  {:>14}: {count} ({:.1}%)",
+                    cause.label(),
+                    100.0 * count as f64 / lost.len() as f64
+                );
+            }
+        }
+    }
+    if flags.has("stats") {
+        let s = result.stats;
+        let _ = writeln!(
+            out,
+            "\npushdown: {}/{} segments scanned ({} skipped); \
+             {} event rows scanned, {} report rows scanned",
+            s.segments_scanned,
+            s.segments_total,
+            s.segments_skipped,
+            s.event_rows_scanned,
+            s.report_rows_scanned
+        );
+    }
     Ok(out)
 }
 
@@ -1021,5 +1446,158 @@ mod tests {
         assert!(parsed.get("stages").is_some(), "snapshot has a stages section");
         assert!(parsed.get("counters").is_some(), "snapshot has a counters section");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_then_query_reproduces_figures_byte_for_byte() {
+        use citysee::figures::{
+            fig4_source_view, fig5_loss_positions, fig8_spatial_received, render_fig8_csv,
+            render_loss_points_csv,
+        };
+        let dir = std::env::temp_dir().join("refill-store-cli-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let summary = store_cmd_inner(&args(&["--out", dir.to_str().unwrap()])).unwrap();
+        assert!(summary.contains("event rows"), "got: {summary}");
+        assert!(dir.join("MANIFEST.json").is_file());
+        assert!(dir.join("scenario.json").is_file());
+
+        // The same scenario (same defaults, same seed) analyzed in memory
+        // is the reference the stored figures must reproduce exactly.
+        let campaign = run_scenario(&Scenario::small());
+        let analysis = analyze_campaign(&campaign);
+        let fig4 = query_cmd_inner(&args(&["--store", dir.to_str().unwrap(), "--fig", "fig4"]))
+            .unwrap();
+        assert_eq!(fig4, render_loss_points_csv(&fig4_source_view(&analysis)));
+        let fig5 = query_cmd_inner(&args(&["--store", dir.to_str().unwrap(), "--fig", "fig5"]))
+            .unwrap();
+        assert_eq!(fig5, render_loss_points_csv(&fig5_loss_positions(&analysis)));
+        let fig8 = query_cmd_inner(&args(&["--store", dir.to_str().unwrap(), "--fig", "fig8"]))
+            .unwrap();
+        assert_eq!(
+            fig8,
+            render_fig8_csv(&fig8_spatial_received(&campaign, &analysis))
+        );
+
+        // Predicate summaries and pushdown accounting.
+        let out = query_cmd_inner(&args(&["--store", dir.to_str().unwrap(), "--stats"])).unwrap();
+        assert!(out.contains("matched"), "got: {out}");
+        assert!(out.contains("pushdown:"), "got: {out}");
+        let narrowed = query_cmd_inner(&args(&[
+            "--store",
+            dir.to_str().unwrap(),
+            "--origin",
+            "1",
+            "--seqno",
+            "0:2",
+        ]))
+        .unwrap();
+        assert!(narrowed.contains("matched"), "got: {narrowed}");
+
+        // Compaction must not change any figure.
+        let recompacted = store_cmd_inner(&args(&[
+            "--out",
+            dir.to_str().unwrap(),
+            "--compact",
+        ]))
+        .unwrap();
+        assert!(recompacted.contains("compacted"), "got: {recompacted}");
+        let fig4_after =
+            query_cmd_inner(&args(&["--store", dir.to_str().unwrap(), "--fig", "fig4"])).unwrap();
+        assert_eq!(fig4_after, fig4, "compaction changed figure 4");
+
+        assert!(query_cmd_inner(&args(&[
+            "--store",
+            dir.to_str().unwrap(),
+            "--cause",
+            "banana"
+        ]))
+        .is_err());
+        assert!(query_cmd_inner(&args(&[
+            "--store",
+            dir.to_str().unwrap(),
+            "--disposition",
+            "psychic"
+        ]))
+        .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_store_checkpoints_and_resumes() {
+        use eventlog::frame::{encode_records, NodeRecord};
+        use eventlog::logger::LogEntry;
+        use eventlog::{Event, EventKind};
+        let p = PacketId::new(NodeId(1), 0);
+        let recs = vec![
+            NodeRecord::new(
+                NodeId(1),
+                LogEntry {
+                    event: Event::new(NodeId(1), EventKind::Trans { to: NodeId(2) }, p),
+                    local_ts: None,
+                },
+            ),
+            NodeRecord::new(
+                NodeId(2),
+                LogEntry {
+                    event: Event::new(NodeId(2), EventKind::Recv { from: NodeId(1) }, p),
+                    local_ts: None,
+                },
+            ),
+        ];
+        let dir = std::env::temp_dir().join("refill-stream-store-cli-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let frames = dir.join("frames.bin");
+        std::fs::write(&frames, encode_records(recs.iter())).unwrap();
+        let store_dir = dir.join("store");
+
+        let first = stream_cmd_inner(&args(&[
+            "--frames",
+            frames.to_str().unwrap(),
+            "--store",
+            store_dir.to_str().unwrap(),
+            "--quiet",
+        ]))
+        .unwrap();
+        assert!(first.contains("store: 2 event rows"), "got: {first}");
+        assert!(store_dir.join("MANIFEST.json").is_file());
+
+        // Run again over the same frames: the durable records are skipped
+        // on the wire and replayed into the reconstructor instead, and the
+        // converged answer is unchanged.
+        let second = stream_cmd_inner(&args(&[
+            "--frames",
+            frames.to_str().unwrap(),
+            "--store",
+            store_dir.to_str().unwrap(),
+            "--quiet",
+        ]))
+        .unwrap();
+        assert!(second.contains("packets: 1 converged"), "got: {second}");
+        assert!(second.contains("store: 2 event rows"), "got: {second}");
+
+        // The stored rows answer queries without any reconstruction.
+        let out = query_cmd_inner(&args(&["--store", store_dir.to_str().unwrap()])).unwrap();
+        assert!(out.contains("matched 2 event rows"), "got: {out}");
+
+        assert!(stream_cmd_inner(&args(&[
+            "--frames",
+            frames.to_str().unwrap(),
+            "--store",
+            store_dir.to_str().unwrap(),
+            "--metrics-every",
+            "1",
+        ]))
+        .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn profile_format_json_emits_one_snapshot_document() {
+        let out = profile_cmd_inner(&args(&["--format", "json"])).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(parsed.get("stages").is_some(), "got: {out}");
+        assert!(parsed.get("counters").is_some(), "got: {out}");
+        assert!(profile_cmd_inner(&args(&["--format", "yaml"])).is_err());
     }
 }

@@ -24,12 +24,25 @@
 //!     fused columnar parallel driver with --workers (simulates one
 //!     CitySee-like day when no archive is given).
 //!
-//! refill stream [--frames FILE|-] [--metrics-every N] [--telemetry FILE]
+//! refill stream [--frames FILE|-] [--metrics-every N] [--store DIR]
 //!     Online reconstruction: decode framed records from a file or stdin
 //!     (or a simulated CitySee-like day when no input is given), print
 //!     rolling packet reports as windows close — plus a JSON-lines
 //!     telemetry delta every N records with --metrics-every — then the
-//!     converged summary.
+//!     converged summary. With --store DIR every absorbed record and
+//!     emitted report is checkpointed into a durable segment store; a
+//!     killed run resumes from the durable prefix on the next invocation.
+//!
+//! refill store --out DIR [--logs DIR_OR_FILE] [--compact]
+//!     Persist a run (simulated scenario, or a reconstructed + diagnosed
+//!     archive) into a crash-recoverable segment store: packed event rows
+//!     plus node-abstract report templates with diagnosis sidecars.
+//!
+//! refill query --store DIR [predicates] [--fig fig4|fig5|fig8]
+//!     Evaluate predicates (origin, seqno range, local-time range, loss
+//!     cause, provenance disposition) over a store without re-running
+//!     reconstruction, using per-segment min/max pushdown — or render a
+//!     figure CSV straight from the stored sidecars.
 //! ```
 //!
 //! The archive format is the `eventlog::archive` JSON-lines format, so logs
@@ -56,6 +69,8 @@ fn main() -> ExitCode {
         "profile" => cmd::profile(&rest),
         "report" => cmd::report(&rest),
         "stream" => cmd::stream(&rest),
+        "store" => cmd::store(&rest),
+        "query" => cmd::query(&rest),
         "help" | "--help" | "-h" => {
             println!("{}", cmd::USAGE);
             Ok(())

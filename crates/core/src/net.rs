@@ -80,7 +80,7 @@ pub struct InterRule {
 }
 
 /// Diagnostics emitted by a run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum NetWarning {
     /// A prerequisite chain looped back into an engine already being forced;
     /// the inner requirement was skipped to guarantee termination.

@@ -354,6 +354,44 @@ mod tests {
     }
 
     #[test]
+    fn mid_record_truncation_of_v2_payloads_reports_the_exact_line() {
+        let mut logs = sample_logs();
+        for (i, entry) in logs[0].entries.iter_mut().enumerate() {
+            entry.local_ts = Some(100 + i as u64 * 7);
+        }
+        let mut buf = Vec::new();
+        write_logs(&logs, &mut buf).unwrap();
+
+        // Byte offsets where each line starts; line 1 is the version
+        // header, so a cut inside starts[i] lands on line i + 1.
+        let mut starts = vec![0usize];
+        for (i, b) in buf.iter().enumerate() {
+            if *b == b'\n' && i + 1 < buf.len() {
+                starts.push(i + 1);
+            }
+        }
+        assert!(starts.len() > 2, "need record lines to truncate");
+        for (idx, &start) in starts.iter().enumerate().skip(1) {
+            let end = start + buf[start..].iter().position(|b| *b == b'\n').unwrap();
+            for cut in (start + 1)..end {
+                // The columnar store reader reports the cut line...
+                match read_store(io::BufReader::new(&buf[..cut])).unwrap_err() {
+                    ArchiveError::Corrupt { line, detail } => {
+                        assert_eq!(line, idx + 1, "cut at byte {cut}");
+                        assert!(!detail.is_empty(), "cut at byte {cut}");
+                    }
+                    other => panic!("cut at byte {cut}: expected Corrupt, got {other:?}"),
+                }
+                // ...and the row reader agrees on the position.
+                match read_logs(io::BufReader::new(&buf[..cut])).unwrap_err() {
+                    ArchiveError::Corrupt { line, .. } => assert_eq!(line, idx + 1),
+                    other => panic!("cut at byte {cut}: expected Corrupt, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
     fn future_version_is_refused() {
         let data = format!("{HEADER_PREFIX}{}\n", ARCHIVE_VERSION + 1);
         let err = read_logs(io::BufReader::new(data.as_bytes())).unwrap_err();

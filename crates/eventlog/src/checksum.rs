@@ -1,0 +1,99 @@
+//! The one CRC-32 implementation shared by every length-prefixed format.
+//!
+//! Both the wire frame codec ([`crate::frame`]) and the durable segment
+//! store (`refill-store`) guard their blocks with CRC-32 (IEEE 802.3,
+//! reflected). The lookup table is built at compile time and lives here so
+//! the algorithm exists exactly once — a checksum disagreement between the
+//! two formats can only ever be a framing bug, never an algorithm drift.
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    Crc32::new().update(bytes).finish()
+}
+
+/// Incremental CRC-32: feed disjoint byte runs without concatenating them.
+///
+/// `crc32(ab)` equals `Crc32::new().update(a).update(b).finish()`, so
+/// multi-part headers (version + length + payload) can be checksummed
+/// without an intermediate buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Start a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Absorb `bytes`, returning `self` for chaining.
+    #[must_use]
+    pub fn update(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.state = CRC_TABLE[((self.state ^ u32::from(b)) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+        self
+    }
+
+    /// Finalize.
+    pub fn finish(self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_check_value() {
+        // The standard CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_empty() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..data.len() {
+            let (a, b) = data.split_at(split);
+            assert_eq!(
+                Crc32::new().update(a).update(b).finish(),
+                crc32(data),
+                "split at {split}"
+            );
+        }
+    }
+}

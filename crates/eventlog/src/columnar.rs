@@ -138,6 +138,28 @@ impl PackedEvent {
             .expect("a PackedEvent only ever holds codes EventKind::code emits")
     }
 
+    /// Serialize as 16 little-endian bytes (word order `who`, `tag`,
+    /// `seqno`, `arg`) — the row encoding of durable segment files.
+    pub fn to_bytes(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[0..4].copy_from_slice(&self.who.to_le_bytes());
+        out[4..8].copy_from_slice(&self.tag.to_le_bytes());
+        out[8..12].copy_from_slice(&self.seqno.to_le_bytes());
+        out[12..16].copy_from_slice(&self.arg.to_le_bytes());
+        out
+    }
+
+    /// Inverse of [`PackedEvent::to_bytes`].
+    pub fn from_bytes(b: [u8; 16]) -> PackedEvent {
+        let word = |i: usize| u32::from_le_bytes([b[i], b[i + 1], b[i + 2], b[i + 3]]);
+        PackedEvent {
+            who: word(0),
+            tag: word(4),
+            seqno: word(8),
+            arg: word(12),
+        }
+    }
+
     /// Unpack back into the AoS representation.
     pub fn unpack(&self) -> Event {
         Event {

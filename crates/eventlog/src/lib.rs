@@ -13,6 +13,7 @@
 //! lossy in-network collection, and per-node clock skew.
 
 pub mod archive;
+pub mod checksum;
 pub mod clock;
 pub mod collect;
 pub mod columnar;
@@ -24,6 +25,7 @@ pub mod merge;
 pub mod watermark;
 
 pub use archive::ArchiveError;
+pub use checksum::{crc32, Crc32};
 pub use clock::ClockModel;
 pub use collect::{CollectionConfig, LossyCollector};
 pub use columnar::{ColumnarIndex, EventStore, PackedEvent, ScratchArena, TS_NONE};
@@ -33,7 +35,7 @@ pub use frame::{FrameDecoder, FrameStats, NodeRecord};
 pub use logger::{LocalLog, LogEntry, LoggerConfig, NodeLogger};
 pub use merge::{
     merge_logs, merge_logs_kway, merge_logs_partitioned, merge_logs_recorded, merge_logs_store,
-    merge_logs_store_recorded, MergedLog, PacketIndex,
+    merge_logs_store_recorded, merge_packed_runs, MergedLog, PacketIndex,
 };
 pub use watermark::{Lateness, Mark, WatermarkTracker};
 

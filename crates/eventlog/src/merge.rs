@@ -30,7 +30,7 @@
 //! (which the cursor-scan semantics permit) fail the O(N) gate and fall back
 //! to the sequential loser tree.
 
-use crate::columnar::EventStore;
+use crate::columnar::{EventStore, PackedEvent, TS_NONE};
 use crate::event::{Event, PacketId};
 use crate::logger::{LocalLog, LogEntry};
 use netsim::NodeId;
@@ -376,15 +376,6 @@ fn ts_of(e: &LogEntry) -> u64 {
 /// while the sentinel carries `usize::MAX`.
 const EXHAUSTED: (u64, NodeId, usize) = (u64::MAX, NodeId(u16::MAX), usize::MAX);
 
-/// The head sort key of run `ci`: `(local_ts, node, run index)` — a total
-/// order, so equal `(ts, node)` heads resolve by input position.
-fn head_key(runs: &[Run<'_>], pos: &[usize], ci: usize) -> (u64, NodeId, usize) {
-    match runs[ci].entries.get(pos[ci]) {
-        Some(e) => (ts_of(e), runs[ci].node, ci),
-        None => EXHAUSTED,
-    }
-}
-
 /// Loser-tree k-way merge of `runs` (each already in recording order).
 ///
 /// Flat-array tournament tree: internal node `v` in `1..k` stores the
@@ -405,14 +396,54 @@ fn merge_runs(runs: &[Run<'_>]) -> Vec<Event> {
 /// `emit` in merge order. Both materializations — the legacy `Vec<Event>`
 /// ([`merge_runs`]) and the fused columnar pack — share this one engine,
 /// so they cannot drift.
-fn merge_runs_each(runs: &[Run<'_>], mut emit: impl FnMut(&LogEntry)) {
-    let total: usize = runs.iter().map(|r| r.entries.len()).sum();
+fn merge_runs_each(runs: &[Run<'_>], emit: impl FnMut(&LogEntry)) {
+    let slices: Vec<&[LogEntry]> = runs.iter().map(|r| r.entries).collect();
+    merge_each_by(
+        &slices,
+        |ci, p| match runs[ci].entries.get(p) {
+            Some(e) => (ts_of(e), runs[ci].node, ci),
+            None => EXHAUSTED,
+        },
+        emit,
+    );
+}
+
+/// K-way loser-tree merge of per-segment `(PackedEvent, ts)` runs, keyed
+/// `(ts, run index)` with [`TS_NONE`] rows sorting first (the same
+/// "no timestamp sorts as zero" rule the log merge uses). This is the
+/// segment-compaction path of `refill-store`: each input run is one
+/// segment's rows in durable order, and the output is one sorted run.
+pub fn merge_packed_runs(runs: &[&[(PackedEvent, u64)]]) -> Vec<(PackedEvent, u64)> {
+    const DONE: (u64, usize) = (u64::MAX, usize::MAX);
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    merge_each_by(
+        runs,
+        |ci, p| match runs[ci].get(p) {
+            Some((_, ts)) => (if *ts == TS_NONE { 0 } else { *ts }, ci),
+            None => DONE,
+        },
+        |row| out.push(*row),
+    );
+    out
+}
+
+/// The loser-tree tournament itself, generic over the run item and the
+/// head key. `head(run, pos)` must return a total-order key, strictly
+/// greatest when `pos` is past the run's end (the exhausted sentinel), and
+/// non-decreasing within each run.
+fn merge_each_by<T, K: Ord>(
+    runs: &[&[T]],
+    head: impl Fn(usize, usize) -> K,
+    mut emit: impl FnMut(&T),
+) {
+    let total: usize = runs.iter().map(|r| r.len()).sum();
     let k = runs.len();
     if k == 0 || total == 0 {
         return;
     }
     if k == 1 {
-        for e in runs[0].entries {
+        for e in runs[0] {
             emit(e);
         }
         return;
@@ -431,7 +462,7 @@ fn merge_runs_each(runs: &[Run<'_>], mut emit: impl FnMut(&LogEntry)) {
         for v in (1..k).rev() {
             let a = winners[2 * v];
             let b = winners[2 * v + 1];
-            let (win, lose) = if head_key(runs, &pos, b) < head_key(runs, &pos, a) {
+            let (win, lose) = if head(b, pos[b]) < head(a, pos[a]) {
                 (b, a)
             } else {
                 (a, b)
@@ -443,15 +474,15 @@ fn merge_runs_each(runs: &[Run<'_>], mut emit: impl FnMut(&LogEntry)) {
     }
     for _ in 0..total {
         let w = tree[0];
-        emit(&runs[w].entries[pos[w]]);
+        emit(&runs[w][pos[w]]);
         pos[w] += 1;
         // Replay the popped run's leaf-to-root path: at each node the
         // smaller key keeps climbing, the larger stays as the loser.
         let mut winner = w;
-        let mut key = head_key(runs, &pos, winner);
+        let mut key = head(winner, pos[winner]);
         let mut v = (k + w) / 2;
         while v >= 1 {
-            let lkey = head_key(runs, &pos, tree[v]);
+            let lkey = head(tree[v], pos[tree[v]]);
             if lkey < key {
                 std::mem::swap(&mut tree[v], &mut winner);
                 key = lkey;

@@ -1,0 +1,132 @@
+//! Durable checkpointing for streamed reconstruction.
+//!
+//! [`StoreCheckpoint`] implements [`refill_stream::CheckpointSink`]: every
+//! record the stream driver absorbs lands in the store as a packed event
+//! row, and every emitted report batch (window closes plus the final
+//! flush) lands as report rows — with the events flushed *first* at every
+//! durability point, so the store never holds a report whose evidence was
+//! lost. After a crash, the store's event rows are exactly the durable
+//! prefix of the absorbed record sequence; [`StoreCheckpoint::resume_records`]
+//! replays them (in order) into a fresh `StreamReconstructor` and
+//! [`CheckpointSink::skip_records`] tells the driver how many decoded
+//! records to drop before the hooks re-engage. The resumed run's final
+//! reports are byte-identical to an uninterrupted run because
+//! `StreamReconstructor::finish` converges to the batch answer over the
+//! full ingested sequence regardless of poll cadence.
+//!
+//! One representational note: a replayed record's lane is its event's
+//! `node` field. Every producer in this workspace logs events onto the
+//! node that recorded them (`record.node == record.entry.event.node`), so
+//! the round trip is exact.
+
+use crate::row::ReportRow;
+use crate::store::SegmentStore;
+use crate::StoreError;
+use eventlog::frame::NodeRecord;
+use eventlog::logger::LogEntry;
+use eventlog::{PackedEvent, TS_NONE};
+use refill::PacketReport;
+use refill_stream::CheckpointSink;
+
+/// Buffered rows before an unforced flush. Durability is still governed by
+/// `sync` — this only bounds block granularity between syncs.
+const FLUSH_ROWS: usize = 1024;
+
+/// A [`CheckpointSink`] backed by a [`SegmentStore`].
+pub struct StoreCheckpoint {
+    store: SegmentStore,
+    /// Event rows already durable when this checkpoint was constructed —
+    /// the resume skip count, frozen at construction so this run's own
+    /// appends don't shift it.
+    skip: u64,
+    buffer: Vec<(PackedEvent, u64)>,
+}
+
+impl StoreCheckpoint {
+    /// Wrap a (freshly opened, recovered) store.
+    pub fn new(store: SegmentStore) -> StoreCheckpoint {
+        let skip = store.total_events();
+        StoreCheckpoint {
+            store,
+            skip,
+            buffer: Vec::new(),
+        }
+    }
+
+    /// The durable records from an interrupted run, in absorption order.
+    /// Replay these into a fresh `StreamReconstructor` (via `ingest`,
+    /// without polling) before re-running the driver over the same input.
+    pub fn resume_records(&self) -> Result<Vec<NodeRecord>, StoreError> {
+        Ok(self
+            .store
+            .events()?
+            .into_iter()
+            .map(|(rec, ts)| {
+                let event = rec.unpack();
+                let node = event.node;
+                NodeRecord::new(
+                    node,
+                    LogEntry {
+                        event,
+                        local_ts: (ts != TS_NONE).then_some(ts),
+                    },
+                )
+            })
+            .collect())
+    }
+
+    /// Read access to the underlying store.
+    pub fn store(&self) -> &SegmentStore {
+        &self.store
+    }
+
+    fn flush_events(&mut self) -> Result<(), StoreError> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let rows = std::mem::take(&mut self.buffer);
+        self.store.append_events(&rows)
+    }
+
+    /// Flush, sync, and hand the store back.
+    pub fn finish(mut self) -> Result<SegmentStore, StoreError> {
+        self.flush_events()?;
+        self.store.sync()?;
+        Ok(self.store)
+    }
+}
+
+impl CheckpointSink for StoreCheckpoint {
+    fn skip_records(&self) -> u64 {
+        self.skip
+    }
+
+    fn on_record(&mut self, rec: &NodeRecord) -> std::io::Result<()> {
+        self.buffer.push((
+            PackedEvent::pack(&rec.entry.event),
+            rec.entry.local_ts.unwrap_or(TS_NONE),
+        ));
+        if self.buffer.len() >= FLUSH_ROWS {
+            self.flush_events()?;
+        }
+        Ok(())
+    }
+
+    fn on_reports(&mut self, reports: &[PacketReport]) -> std::io::Result<()> {
+        // Evidence before conclusions: the records these reports were
+        // reconstructed from must hit the store first.
+        self.flush_events()?;
+        let rows: Vec<ReportRow> = reports
+            .iter()
+            .map(|r| ReportRow::from_report(r, None))
+            .collect();
+        self.store.append_reports(&rows)?;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.flush_events()?;
+        self.store.sync()?;
+        Ok(())
+    }
+}

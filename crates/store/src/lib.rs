@@ -1,0 +1,112 @@
+//! # refill-store — a durable segment store and query engine for REFILL
+//!
+//! Reconstruction is expensive; its outputs are not. This crate persists
+//! both halves of a run — the merged event stream (as packed 24-byte rows)
+//! and the per-packet reports (as node-abstract templates plus a rename
+//! vector, the same deduplicated form the signature cache uses) — into an
+//! append-only, crash-recoverable segment store, so figures and flow
+//! queries replay from disk instead of re-running the pipeline.
+//!
+//! The layers:
+//!
+//! * [`segment`] — the on-disk block codec: length-prefixed, CRC-checked
+//!   blocks (the same checksum discipline as `eventlog::frame`, via the
+//!   shared `eventlog::checksum` module) holding either packed event rows
+//!   or JSON report rows.
+//! * [`manifest`] — `MANIFEST.json`, updated atomically (tmp + fsync +
+//!   rename + directory fsync) and carrying per-segment min/max metadata
+//!   for predicate pushdown.
+//! * [`store`] — [`SegmentStore`]: the write-ahead append path, recovery
+//!   (scan every listed segment, truncate the torn tail at the last valid
+//!   block boundary, reconcile the manifest), rolling, and compaction
+//!   (k-way merge of segment runs through `eventlog::merge_packed_runs`).
+//! * [`query`] — [`Query`]/[`QueryOutput`]: predicate evaluation with
+//!   segment-level pushdown over the manifest metadata.
+//! * [`row`] — [`ReportRow`]: the persisted report form; rehydrates to an
+//!   exact [`refill::PacketReport`].
+//! * [`checkpoint`] — [`StoreCheckpoint`]: a
+//!   [`refill_stream::CheckpointSink`] implementation so a killed
+//!   `refill stream` run resumes from the store's durable prefix.
+//!
+//! ## Durability contract
+//!
+//! Appends buffer in the OS; [`SegmentStore::sync`] is the commit point
+//! (`fdatasync` the segment, then persist the manifest atomically). After
+//! a crash, [`SegmentStore::open`] recovers the longest prefix of each
+//! listed segment made of whole, CRC-valid blocks — everything synced is
+//! kept, a torn tail is truncated, and unlisted files (lost races of
+//! segment creation or compaction leftovers) are pruned. When no manifest
+//! exists at all, on-disk segments are adopted instead of pruned, so a
+//! store directory survives losing its manifest.
+
+pub mod checkpoint;
+pub mod manifest;
+pub mod query;
+pub mod row;
+pub mod segment;
+pub mod store;
+
+pub use checkpoint::StoreCheckpoint;
+pub use manifest::{Manifest, SegmentMeta, SegmentStats};
+pub use query::{Query, QueryOutput, QueryStats};
+pub use row::{ReportRow, Sidecar};
+pub use segment::{Block, BlockKind};
+pub use store::{CompactionReport, RecoveryReport, SegmentStore};
+
+/// Errors the store can produce.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem error.
+    Io(std::io::Error),
+    /// A committed region failed validation — unlike a torn tail (which
+    /// recovery silently truncates), this means durable data went bad.
+    Corrupt {
+        /// Segment file name.
+        file: String,
+        /// Byte offset of the failing block.
+        offset: u64,
+        /// What failed.
+        detail: String,
+    },
+    /// A serialization failure (report rows or the manifest).
+    Codec {
+        /// What failed.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Corrupt { file, offset, detail } => {
+                write!(f, "store corruption in {file} at byte {offset}: {detail}")
+            }
+            StoreError::Codec { detail } => write!(f, "store codec error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<StoreError> for std::io::Error {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Io(io) => io,
+            other => std::io::Error::other(other.to_string()),
+        }
+    }
+}

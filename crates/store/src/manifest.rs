@@ -1,0 +1,206 @@
+//! The store manifest: `MANIFEST.json`, updated atomically.
+//!
+//! The manifest is the commit record — a segment file is part of the store
+//! iff it is listed here. Updates go through the classic atomic-replace
+//! dance: write `MANIFEST.json.tmp`, `fsync` it, `rename` over the real
+//! name, `fsync` the directory. A crash at any point leaves either the old
+//! or the new manifest intact, never a torn one.
+//!
+//! Each entry carries per-segment min/max metadata ([`SegmentStats`]) that
+//! the query engine uses for predicate pushdown: a segment whose ranges
+//! cannot intersect the predicate is skipped without touching its file.
+//! The stats are recomputed from the block scan at every recovery, so a
+//! stale manifest only ever costs extra scanning, never wrong answers.
+
+use crate::StoreError;
+use eventlog::{PacketId, TS_NONE};
+use serde::{Deserialize, Serialize};
+use std::fs::{self, File};
+use std::io::Write as _;
+use std::path::Path;
+
+/// The manifest file name inside a store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST.json";
+
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// Min/max pushdown metadata for one segment.
+///
+/// Origin and seqno ranges cover every row (event and report alike);
+/// timestamp ranges cover only event rows that carry a real local
+/// timestamp (`TS_NONE` rows are excluded — they can never match a time
+/// predicate). `None` means "no such rows in this segment".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentStats {
+    /// Smallest packet-origin node id.
+    pub min_origin: Option<u16>,
+    /// Largest packet-origin node id.
+    pub max_origin: Option<u16>,
+    /// Smallest packet sequence number.
+    pub min_seqno: Option<u32>,
+    /// Largest packet sequence number.
+    pub max_seqno: Option<u32>,
+    /// Smallest real local timestamp among event rows.
+    pub min_ts: Option<u64>,
+    /// Largest real local timestamp among event rows.
+    pub max_ts: Option<u64>,
+}
+
+fn widen<T: Ord + Copy>(min: &mut Option<T>, max: &mut Option<T>, v: T) {
+    *min = Some(min.map_or(v, |m| m.min(v)));
+    *max = Some(max.map_or(v, |m| m.max(v)));
+}
+
+impl SegmentStats {
+    /// Fold one packet identity into the ranges.
+    pub fn note_packet(&mut self, packet: PacketId) {
+        widen(&mut self.min_origin, &mut self.max_origin, packet.origin.0);
+        widen(&mut self.min_seqno, &mut self.max_seqno, packet.seqno);
+    }
+
+    /// Fold one event-row timestamp into the ranges (`TS_NONE` ignored).
+    pub fn note_ts(&mut self, ts: u64) {
+        if ts != TS_NONE {
+            widen(&mut self.min_ts, &mut self.max_ts, ts);
+        }
+    }
+
+    /// Could a row with `origin` live in this segment?
+    pub fn admits_origin(&self, origin: u16) -> bool {
+        match (self.min_origin, self.max_origin) {
+            (Some(lo), Some(hi)) => lo <= origin && origin <= hi,
+            _ => false,
+        }
+    }
+
+    /// Could a row with a seqno in `[lo, hi]` live in this segment?
+    pub fn admits_seqno(&self, lo: u32, hi: u32) -> bool {
+        match (self.min_seqno, self.max_seqno) {
+            (Some(smin), Some(smax)) => smin <= hi && lo <= smax,
+            _ => false,
+        }
+    }
+
+    /// Could a timestamped event row in `[lo, hi]` live in this segment?
+    pub fn admits_ts(&self, lo: u64, hi: u64) -> bool {
+        match (self.min_ts, self.max_ts) {
+            (Some(tmin), Some(tmax)) => tmin <= hi && lo <= tmax,
+            _ => false,
+        }
+    }
+}
+
+/// One segment's manifest entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SegmentMeta {
+    /// File name (relative to the store directory), e.g. `seg-000003.refill`.
+    pub file: String,
+    /// Durable byte length — the valid-block prefix as of the last sync
+    /// or recovery.
+    pub committed_len: u64,
+    /// Blocks in the committed prefix.
+    pub blocks: u64,
+    /// Event rows in the committed prefix.
+    pub events: u64,
+    /// Report rows in the committed prefix.
+    pub reports: u64,
+    /// Pushdown metadata.
+    #[serde(default)]
+    pub stats: SegmentStats,
+}
+
+/// The manifest document.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Format version.
+    pub version: u32,
+    /// Listed segments, in store order.
+    pub segments: Vec<SegmentMeta>,
+}
+
+impl Manifest {
+    /// Load the manifest from `dir`.
+    ///
+    /// Returns `Ok(None)` when the file is absent *or unparseable*: the
+    /// block scan is the ground truth, so a damaged manifest downgrades
+    /// to "adopt whatever valid segments are on disk" rather than an
+    /// error.
+    pub fn load(dir: &Path) -> Result<Option<Manifest>, StoreError> {
+        let path = dir.join(MANIFEST_FILE);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::Io(e)),
+        };
+        Ok(serde_json::from_slice(&bytes).ok())
+    }
+
+    /// Persist the manifest atomically: tmp + fsync + rename + dir fsync.
+    pub fn save(&self, dir: &Path) -> Result<(), StoreError> {
+        let bytes = serde_json::to_vec_pretty(self).map_err(|e| StoreError::Codec {
+            detail: format!("encoding manifest: {e}"),
+        })?;
+        let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+        // Make the rename itself durable. Directory fsync is
+        // platform-sensitive; failure to open the directory is not fatal
+        // on filesystems that disallow it.
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::NodeId;
+
+    #[test]
+    fn stats_ranges_widen_and_admit() {
+        let mut s = SegmentStats::default();
+        assert!(!s.admits_origin(3), "empty stats admit nothing");
+        assert!(!s.admits_seqno(0, u32::MAX));
+        assert!(!s.admits_ts(0, u64::MAX));
+        s.note_packet(PacketId::new(NodeId(3), 10));
+        s.note_packet(PacketId::new(NodeId(7), 2));
+        s.note_ts(500);
+        s.note_ts(TS_NONE); // ignored
+        assert!(s.admits_origin(3) && s.admits_origin(5) && s.admits_origin(7));
+        assert!(!s.admits_origin(2) && !s.admits_origin(8));
+        assert!(s.admits_seqno(0, 2) && s.admits_seqno(10, 99) && s.admits_seqno(5, 6));
+        assert!(!s.admits_seqno(11, 99) && !s.admits_seqno(0, 1));
+        assert!(s.admits_ts(500, 500) && !s.admits_ts(0, 499) && !s.admits_ts(501, u64::MAX));
+        assert_eq!(s.min_ts, Some(500), "TS_NONE must not widen the range");
+        assert_eq!(s.max_ts, Some(500));
+    }
+
+    #[test]
+    fn save_load_roundtrip_and_garbage_downgrades() {
+        let dir = std::env::temp_dir().join(format!("refill-store-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = Manifest {
+            version: MANIFEST_VERSION,
+            segments: vec![SegmentMeta {
+                file: "seg-000001.refill".into(),
+                committed_len: 36,
+                blocks: 1,
+                events: 1,
+                reports: 0,
+                stats: SegmentStats::default(),
+            }],
+        };
+        m.save(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), Some(m));
+        std::fs::write(dir.join(MANIFEST_FILE), b"{not json").unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

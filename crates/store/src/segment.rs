@@ -1,0 +1,246 @@
+//! The on-disk block codec.
+//!
+//! A segment file is a plain concatenation of blocks:
+//!
+//! ```text
+//! +-------+---------+------+------------+-----------+-----------+
+//! | magic | version | kind | len u32 LE |  payload  | crc u32 LE|
+//! |  2 B  |   1 B   | 1 B  |    4 B     |  len B    |    4 B    |
+//! +-------+---------+------+------------+-----------+-----------+
+//! ```
+//!
+//! The CRC-32 (IEEE, via the shared `eventlog::checksum`) covers
+//! everything after the magic — version, kind, length, and payload — the
+//! same discipline as the wire frames in `eventlog::frame`. Anything that
+//! fails validation mid-file is, by definition, a torn tail: blocks are
+//! written append-only and become durable only at `fsync`, so a decode
+//! failure marks the recovery truncation point.
+//!
+//! Two payload kinds exist. *Event* payloads are fixed 24-byte rows —
+//! a 16-byte [`PackedEvent`] plus its u64 LE local timestamp
+//! ([`eventlog::TS_NONE`] preserved verbatim for untimestamped entries).
+//! *Report* payloads are a JSON array of [`ReportRow`]s.
+
+use crate::row::ReportRow;
+use crate::StoreError;
+use eventlog::checksum::Crc32;
+use eventlog::PackedEvent;
+
+/// Segment block magic. Distinct from the wire-frame magic (`EF 17`) so a
+/// segment file can never be mistaken for a record stream.
+pub const BLOCK_MAGIC: [u8; 2] = [0xEF, 0x5E];
+
+/// Current block format version.
+pub const BLOCK_VERSION: u8 = 1;
+
+/// Bytes before the payload: magic (2) + version (1) + kind (1) + len (4).
+pub const BLOCK_HEADER_LEN: usize = 8;
+
+/// Trailing checksum bytes.
+pub const BLOCK_CRC_LEN: usize = 4;
+
+/// Bytes per packed event row: a 16-byte event plus a u64 timestamp.
+pub const EVENT_ROW_LEN: usize = 24;
+
+/// What a block holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Packed event rows.
+    Events,
+    /// JSON report rows.
+    Reports,
+}
+
+impl BlockKind {
+    fn from_byte(b: u8) -> Option<BlockKind> {
+        match b {
+            0 => Some(BlockKind::Events),
+            1 => Some(BlockKind::Reports),
+            _ => None,
+        }
+    }
+
+    fn byte(self) -> u8 {
+        match self {
+            BlockKind::Events => 0,
+            BlockKind::Reports => 1,
+        }
+    }
+}
+
+/// A decoded block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Block {
+    /// Packed event rows with their raw timestamps.
+    Events(Vec<(PackedEvent, u64)>),
+    /// Report rows.
+    Reports(Vec<ReportRow>),
+}
+
+fn encode_block(kind: BlockKind, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(BLOCK_HEADER_LEN + payload.len() + BLOCK_CRC_LEN);
+    out.extend_from_slice(&BLOCK_MAGIC);
+    out.push(BLOCK_VERSION);
+    out.push(kind.byte());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = Crc32::new().update(&out[2..]).finish();
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Encode one events block.
+pub fn encode_events(rows: &[(PackedEvent, u64)]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(rows.len() * EVENT_ROW_LEN);
+    for (rec, ts) in rows {
+        payload.extend_from_slice(&rec.to_bytes());
+        payload.extend_from_slice(&ts.to_le_bytes());
+    }
+    encode_block(BlockKind::Events, &payload)
+}
+
+/// Encode one reports block.
+pub fn encode_reports(rows: &[ReportRow]) -> Result<Vec<u8>, StoreError> {
+    let payload = serde_json::to_vec(rows).map_err(|e| StoreError::Codec {
+        detail: format!("encoding report rows: {e}"),
+    })?;
+    Ok(encode_block(BlockKind::Reports, &payload))
+}
+
+/// Try to decode the block starting at `bytes[0]`.
+///
+/// Returns the block and its total encoded length, or `None` when the
+/// bytes do not begin with one complete, CRC-valid block — the signal
+/// recovery uses to place the truncation point. There is deliberately no
+/// resynchronization here (unlike the wire decoder): a segment is written
+/// append-only, so the first invalid byte ends the durable prefix.
+pub fn decode_block(bytes: &[u8]) -> Option<(Block, usize)> {
+    if bytes.len() < BLOCK_HEADER_LEN + BLOCK_CRC_LEN {
+        return None;
+    }
+    if bytes[0..2] != BLOCK_MAGIC || bytes[2] != BLOCK_VERSION {
+        return None;
+    }
+    let kind = BlockKind::from_byte(bytes[3])?;
+    let len = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) as usize;
+    let total = BLOCK_HEADER_LEN + len + BLOCK_CRC_LEN;
+    if bytes.len() < total {
+        return None;
+    }
+    let stored = u32::from_le_bytes([
+        bytes[total - 4],
+        bytes[total - 3],
+        bytes[total - 2],
+        bytes[total - 1],
+    ]);
+    let computed = Crc32::new().update(&bytes[2..total - BLOCK_CRC_LEN]).finish();
+    if stored != computed {
+        return None;
+    }
+    let payload = &bytes[BLOCK_HEADER_LEN..total - BLOCK_CRC_LEN];
+    let block = match kind {
+        BlockKind::Events => {
+            if payload.len() % EVENT_ROW_LEN != 0 {
+                return None;
+            }
+            let mut rows = Vec::with_capacity(payload.len() / EVENT_ROW_LEN);
+            for row in payload.chunks_exact(EVENT_ROW_LEN) {
+                let mut rec = [0u8; 16];
+                rec.copy_from_slice(&row[0..16]);
+                let mut ts = [0u8; 8];
+                ts.copy_from_slice(&row[16..24]);
+                rows.push((PackedEvent::from_bytes(rec), u64::from_le_bytes(ts)));
+            }
+            Block::Events(rows)
+        }
+        BlockKind::Reports => {
+            let rows: Vec<ReportRow> = serde_json::from_slice(payload).ok()?;
+            Block::Reports(rows)
+        }
+    };
+    Some((block, total))
+}
+
+/// Walk `bytes` block by block, returning the decoded blocks and the byte
+/// length of the valid prefix. `bytes.len() - valid_len` is the torn tail.
+pub fn scan_blocks(bytes: &[u8]) -> (Vec<Block>, usize) {
+    let mut blocks = Vec::new();
+    let mut offset = 0usize;
+    while let Some((block, used)) = decode_block(&bytes[offset..]) {
+        blocks.push(block);
+        offset += used;
+    }
+    (blocks, offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventlog::{Event, EventKind, PacketId, TS_NONE};
+    use netsim::NodeId;
+
+    fn rows(n: u32) -> Vec<(PackedEvent, u64)> {
+        (0..n)
+            .map(|i| {
+                let p = PacketId::new(NodeId(1), i);
+                let e = Event::new(NodeId(2), EventKind::Recv { from: NodeId(1) }, p);
+                let ts = if i % 3 == 0 { TS_NONE } else { u64::from(i) * 17 };
+                (PackedEvent::pack(&e), ts)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn events_roundtrip() {
+        let rows = rows(10);
+        let bytes = encode_events(&rows);
+        let (block, used) = decode_block(&bytes).expect("valid block");
+        assert_eq!(used, bytes.len());
+        assert_eq!(block, Block::Events(rows));
+    }
+
+    #[test]
+    fn empty_events_block_roundtrips() {
+        let bytes = encode_events(&[]);
+        let (block, used) = decode_block(&bytes).expect("valid block");
+        assert_eq!(used, bytes.len());
+        assert_eq!(block, Block::Events(Vec::new()));
+    }
+
+    #[test]
+    fn truncation_anywhere_is_detected() {
+        let bytes = encode_events(&rows(4));
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_block(&bytes[..cut]).is_none(),
+                "a {cut}-byte prefix of a {}-byte block must not decode",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn any_single_byte_flip_is_detected() {
+        let bytes = encode_events(&rows(3));
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x40;
+            // Flipping a length byte can make the block "longer" than the
+            // buffer (reads as torn) or damage the CRC; either way the
+            // block must not decode as valid.
+            assert!(decode_block(&bad).is_none(), "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn scan_stops_at_the_first_invalid_block() {
+        let mut bytes = encode_events(&rows(2));
+        let first = bytes.len();
+        bytes.extend_from_slice(&encode_events(&rows(5)));
+        // Tear the second block three bytes short.
+        bytes.truncate(bytes.len() - 3);
+        let (blocks, valid) = scan_blocks(&bytes);
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(valid, first);
+    }
+}

@@ -1,0 +1,685 @@
+//! The segment store: append, sync, recovery, rolling, compaction.
+
+use crate::manifest::{Manifest, SegmentMeta, SegmentStats, MANIFEST_VERSION};
+use crate::row::ReportRow;
+use crate::segment::{self, Block};
+use crate::StoreError;
+use eventlog::{merge_packed_runs, PackedEvent, PacketId};
+use refill_telemetry::{Counter, Hist, NoopRecorder, Recorder, Stage, StageTimer};
+use rustc_hash::{FxHashMap, FxHashSet};
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Default roll threshold: seal a segment once it crosses this many bytes.
+pub const DEFAULT_ROLL_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Event rows per block when compaction rewrites a segment.
+const COMPACT_EVENTS_PER_BLOCK: usize = 64 * 1024;
+
+/// Report rows per block when compaction rewrites a segment.
+const COMPACT_REPORTS_PER_BLOCK: usize = 4 * 1024;
+
+/// What recovery found and did at open.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Segments in the recovered store.
+    pub segments: usize,
+    /// Segments whose torn tail was truncated.
+    pub truncated_segments: usize,
+    /// Bytes discarded from torn tails.
+    pub torn_bytes: u64,
+    /// Files on disk the manifest did not list, removed at open (lost
+    /// races of segment creation, compaction leftovers).
+    pub pruned_files: usize,
+    /// Segments adopted from disk because no (valid) manifest existed.
+    pub adopted_segments: usize,
+    /// Listed segments whose file was missing on disk.
+    pub missing_segments: usize,
+    /// Total recovered event rows.
+    pub events: u64,
+    /// Total recovered report rows.
+    pub reports: u64,
+}
+
+/// What a compaction did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Segments merged away.
+    pub merged_segments: usize,
+    /// Event rows in the compacted segment.
+    pub events: u64,
+    /// Report rows in the compacted segment (after last-wins dedup).
+    pub reports: u64,
+    /// Superseded report rows dropped by the dedup.
+    pub dropped_reports: u64,
+}
+
+/// A durable append-only segment store for packed events and report rows.
+///
+/// See the crate docs for the durability contract. All reads go through
+/// the committed metadata, so a `SegmentStore` value is always consistent
+/// with what recovery would reconstruct from its directory.
+pub struct SegmentStore {
+    dir: PathBuf,
+    segments: Vec<SegmentMeta>,
+    /// Append handle for the last segment, opened lazily.
+    active: Option<File>,
+    next_id: u64,
+    roll_bytes: u64,
+    recorder: Arc<dyn Recorder>,
+}
+
+fn is_segment_file(name: &str) -> bool {
+    name.starts_with("seg-") && name.ends_with(".refill")
+}
+
+fn segment_id(name: &str) -> Option<u64> {
+    name.strip_prefix("seg-")?.strip_suffix(".refill")?.parse().ok()
+}
+
+impl SegmentStore {
+    /// Open (or create) the store at `dir`, running recovery.
+    pub fn open(dir: impl AsRef<Path>) -> Result<(SegmentStore, RecoveryReport), StoreError> {
+        Self::open_recorded(dir, Arc::new(NoopRecorder))
+    }
+
+    /// [`SegmentStore::open`] with telemetry.
+    pub fn open_recorded(
+        dir: impl AsRef<Path>,
+        recorder: Arc<dyn Recorder>,
+    ) -> Result<(SegmentStore, RecoveryReport), StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let _span = StageTimer::start(&*recorder, Stage::StoreRecover);
+        let manifest = Manifest::load(&dir)?;
+
+        let mut on_disk: Vec<String> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            if let Some(name) = entry.file_name().to_str() {
+                if is_segment_file(name) {
+                    on_disk.push(name.to_string());
+                }
+            }
+        }
+        on_disk.sort();
+
+        let mut report = RecoveryReport::default();
+        // The manifest is the commit record: with one present, unlisted
+        // files are un-committed leftovers and go away; without one, the
+        // blocks on disk are all we have, so adopt them.
+        let scan_list: Vec<String> = match &manifest {
+            Some(m) => {
+                let listed: FxHashSet<&str> =
+                    m.segments.iter().map(|s| s.file.as_str()).collect();
+                for name in &on_disk {
+                    if !listed.contains(name.as_str()) {
+                        fs::remove_file(dir.join(name))?;
+                        report.pruned_files += 1;
+                        recorder.inc(Counter::StoreSegmentsPruned);
+                    }
+                }
+                let present: FxHashSet<&str> =
+                    on_disk.iter().map(|s| s.as_str()).collect();
+                let mut list = Vec::new();
+                for meta in &m.segments {
+                    if present.contains(meta.file.as_str()) {
+                        list.push(meta.file.clone());
+                    } else {
+                        report.missing_segments += 1;
+                    }
+                }
+                list
+            }
+            None => {
+                report.adopted_segments = on_disk.len();
+                on_disk.clone()
+            }
+        };
+
+        let mut segments = Vec::with_capacity(scan_list.len());
+        for name in &scan_list {
+            let meta = scan_segment(&dir, name, &*recorder, &mut report)?;
+            report.events += meta.events;
+            report.reports += meta.reports;
+            segments.push(meta);
+        }
+        report.segments = segments.len();
+
+        let next_id = segments
+            .iter()
+            .filter_map(|m| segment_id(&m.file))
+            .max()
+            .map_or(1, |m| m + 1);
+        let store = SegmentStore {
+            dir,
+            segments,
+            active: None,
+            next_id,
+            roll_bytes: DEFAULT_ROLL_BYTES,
+            recorder,
+        };
+        store.save_manifest()?;
+        Ok((store, report))
+    }
+
+    /// Override the roll threshold (tests use tiny segments).
+    pub fn with_roll_bytes(mut self, roll_bytes: u64) -> SegmentStore {
+        self.roll_bytes = roll_bytes.max(1);
+        self
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The committed segments, in store order.
+    pub fn segments(&self) -> &[SegmentMeta] {
+        &self.segments
+    }
+
+    /// Total event rows across all segments.
+    pub fn total_events(&self) -> u64 {
+        self.segments.iter().map(|m| m.events).sum()
+    }
+
+    /// Total report rows across all segments (before dedup).
+    pub fn total_reports(&self) -> u64 {
+        self.segments.iter().map(|m| m.reports).sum()
+    }
+
+    pub(crate) fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
+    }
+
+    fn save_manifest(&self) -> Result<(), StoreError> {
+        Manifest {
+            version: MANIFEST_VERSION,
+            segments: self.segments.clone(),
+        }
+        .save(&self.dir)
+    }
+
+    fn ensure_active(&mut self) -> Result<(), StoreError> {
+        if self.active.is_some() {
+            return Ok(());
+        }
+        let reuse = self
+            .segments
+            .last()
+            .is_some_and(|m| m.committed_len < self.roll_bytes);
+        if !reuse {
+            let name = format!("seg-{:06}.refill", self.next_id);
+            self.next_id += 1;
+            File::create(self.dir.join(&name))?.sync_all()?;
+            self.segments.push(SegmentMeta {
+                file: name,
+                committed_len: 0,
+                blocks: 0,
+                events: 0,
+                reports: 0,
+                stats: SegmentStats::default(),
+            });
+            // List the file before any data lands in it: recovery prunes
+            // unlisted files, so an unlisted-but-written segment would be
+            // thrown away by the next open.
+            self.save_manifest()?;
+        }
+        let meta = self.segments.last().expect("ensure_active pushed a segment");
+        let file = OpenOptions::new()
+            .append(true)
+            .open(self.dir.join(&meta.file))?;
+        self.active = Some(file);
+        Ok(())
+    }
+
+    fn append_block(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.ensure_active()?;
+        self.active
+            .as_mut()
+            .expect("ensure_active opened the handle")
+            .write_all(bytes)?;
+        let meta = self.segments.last_mut().expect("active segment exists");
+        meta.committed_len += bytes.len() as u64;
+        meta.blocks += 1;
+        self.recorder.inc(Counter::StoreBlocksWritten);
+        self.recorder.add(Counter::StoreBytesWritten, bytes.len() as u64);
+        self.recorder.observe(Hist::StoreBlockBytes, bytes.len() as u64);
+        Ok(())
+    }
+
+    fn roll_if_needed(&mut self) -> Result<(), StoreError> {
+        let len = self.segments.last().map_or(0, |m| m.committed_len);
+        if len >= self.roll_bytes {
+            self.sync()?;
+            if let Some(m) = self.segments.last() {
+                self.recorder.observe(Hist::StoreSegmentEvents, m.events);
+            }
+            // Dropping the handle seals the segment; the next append sees
+            // it over the threshold and starts a fresh one.
+            self.active = None;
+        }
+        Ok(())
+    }
+
+    /// Append one events block.
+    pub fn append_events(&mut self, rows: &[(PackedEvent, u64)]) -> Result<(), StoreError> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let recorder = Arc::clone(&self.recorder);
+        let _span = StageTimer::start(&*recorder, Stage::StoreAppend);
+        let bytes = segment::encode_events(rows);
+        self.append_block(&bytes)?;
+        let meta = self.segments.last_mut().expect("active segment exists");
+        meta.events += rows.len() as u64;
+        for (rec, ts) in rows {
+            meta.stats.note_packet(rec.packet());
+            meta.stats.note_ts(*ts);
+        }
+        self.recorder.add(Counter::StoreEventsAppended, rows.len() as u64);
+        self.roll_if_needed()
+    }
+
+    /// Append one reports block.
+    pub fn append_reports(&mut self, rows: &[ReportRow]) -> Result<(), StoreError> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let recorder = Arc::clone(&self.recorder);
+        let _span = StageTimer::start(&*recorder, Stage::StoreAppend);
+        let bytes = segment::encode_reports(rows)?;
+        self.append_block(&bytes)?;
+        let meta = self.segments.last_mut().expect("active segment exists");
+        meta.reports += rows.len() as u64;
+        for r in rows {
+            meta.stats.note_packet(r.packet);
+        }
+        self.recorder.add(Counter::StoreReportsAppended, rows.len() as u64);
+        self.roll_if_needed()
+    }
+
+    /// The commit point: `fdatasync` the active segment, then persist the
+    /// manifest atomically. Everything appended before a successful sync
+    /// survives a crash.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        if let Some(f) = &self.active {
+            f.sync_data()?;
+        }
+        self.save_manifest()
+    }
+
+    /// Decode one segment's committed blocks.
+    ///
+    /// Unlike recovery (which treats invalid bytes as a torn tail), a
+    /// decode failure *inside the committed region* is real corruption and
+    /// surfaces as [`StoreError::Corrupt`] with the failing offset.
+    pub fn read_segment(&self, meta: &SegmentMeta) -> Result<Vec<Block>, StoreError> {
+        let bytes = fs::read(self.dir.join(&meta.file))?;
+        if (bytes.len() as u64) < meta.committed_len {
+            return Err(StoreError::Corrupt {
+                file: meta.file.clone(),
+                offset: bytes.len() as u64,
+                detail: format!(
+                    "segment shorter ({} B) than its committed length ({} B)",
+                    bytes.len(),
+                    meta.committed_len
+                ),
+            });
+        }
+        let committed = &bytes[..meta.committed_len as usize];
+        let (blocks, valid) = segment::scan_blocks(committed);
+        if (valid as u64) < meta.committed_len {
+            return Err(StoreError::Corrupt {
+                file: meta.file.clone(),
+                offset: valid as u64,
+                detail: "invalid block inside the committed region".to_string(),
+            });
+        }
+        Ok(blocks)
+    }
+
+    /// All event rows, in append order across segments.
+    pub fn events(&self) -> Result<Vec<(PackedEvent, u64)>, StoreError> {
+        let mut out = Vec::with_capacity(self.total_events() as usize);
+        for meta in &self.segments {
+            for block in self.read_segment(meta)? {
+                if let Block::Events(mut rows) = block {
+                    out.append(&mut rows);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// All report rows, in append order across segments (duplicates kept).
+    pub fn reports(&self) -> Result<Vec<ReportRow>, StoreError> {
+        let mut out = Vec::with_capacity(self.total_reports() as usize);
+        for meta in &self.segments {
+            for block in self.read_segment(meta)? {
+                if let Block::Reports(mut rows) = block {
+                    out.append(&mut rows);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The latest report per packet (append order is emission order, so
+    /// last wins), sorted by packet id — the converged view a completed
+    /// run leaves behind.
+    pub fn latest_reports(&self) -> Result<Vec<ReportRow>, StoreError> {
+        let mut latest: FxHashMap<PacketId, ReportRow> = FxHashMap::default();
+        for row in self.reports()? {
+            latest.insert(row.packet, row);
+        }
+        let mut rows: Vec<ReportRow> = latest.into_values().collect();
+        rows.sort_by_key(|r| r.packet);
+        Ok(rows)
+    }
+
+    /// Merge every segment into one: event runs go through the shared
+    /// loser-tree k-way merge (`eventlog::merge_packed_runs`), reports
+    /// collapse to their latest version per packet. Query results are
+    /// unchanged — the event multiset and the latest-report set are both
+    /// preserved exactly.
+    pub fn compact(&mut self) -> Result<CompactionReport, StoreError> {
+        let recorder = Arc::clone(&self.recorder);
+        let _span = StageTimer::start(&*recorder, Stage::StoreCompact);
+        self.sync()?;
+        self.active = None;
+
+        let mut runs: Vec<Vec<(PackedEvent, u64)>> = Vec::new();
+        let mut all_reports: Vec<ReportRow> = Vec::new();
+        for meta in &self.segments {
+            let mut run = Vec::new();
+            for block in self.read_segment(meta)? {
+                match block {
+                    Block::Events(mut rows) => run.append(&mut rows),
+                    Block::Reports(mut rows) => all_reports.append(&mut rows),
+                }
+            }
+            runs.push(run);
+        }
+        let run_refs: Vec<&[(PackedEvent, u64)]> = runs.iter().map(|r| r.as_slice()).collect();
+        let merged = merge_packed_runs(&run_refs);
+
+        let total_reports = all_reports.len();
+        let mut latest: FxHashMap<PacketId, ReportRow> = FxHashMap::default();
+        for row in all_reports {
+            latest.insert(row.packet, row);
+        }
+        let mut reports: Vec<ReportRow> = latest.into_values().collect();
+        reports.sort_by_key(|r| r.packet);
+
+        let old: Vec<String> = self.segments.iter().map(|m| m.file.clone()).collect();
+        let name = format!("seg-{:06}.refill", self.next_id);
+        self.next_id += 1;
+
+        let mut meta = SegmentMeta {
+            file: name.clone(),
+            committed_len: 0,
+            blocks: 0,
+            events: 0,
+            reports: 0,
+            stats: SegmentStats::default(),
+        };
+        let mut out = Vec::new();
+        for chunk in merged.chunks(COMPACT_EVENTS_PER_BLOCK) {
+            let bytes = segment::encode_events(chunk);
+            self.recorder.observe(Hist::StoreBlockBytes, bytes.len() as u64);
+            out.extend_from_slice(&bytes);
+            meta.blocks += 1;
+            meta.events += chunk.len() as u64;
+            for (rec, ts) in chunk {
+                meta.stats.note_packet(rec.packet());
+                meta.stats.note_ts(*ts);
+            }
+        }
+        for chunk in reports.chunks(COMPACT_REPORTS_PER_BLOCK) {
+            let bytes = segment::encode_reports(chunk)?;
+            self.recorder.observe(Hist::StoreBlockBytes, bytes.len() as u64);
+            out.extend_from_slice(&bytes);
+            meta.blocks += 1;
+            meta.reports += chunk.len() as u64;
+            for r in chunk {
+                meta.stats.note_packet(r.packet);
+            }
+        }
+        meta.committed_len = out.len() as u64;
+
+        // Write the new segment fully and durably, *then* swing the
+        // manifest, *then* delete the merged files. A crash in between
+        // leaves either the old store (new file unlisted → pruned at next
+        // open) or the new one (old files unlisted → pruned).
+        {
+            let mut f = File::create(self.dir.join(&name))?;
+            f.write_all(&out)?;
+            f.sync_all()?;
+        }
+        self.recorder.add(Counter::StoreBytesWritten, out.len() as u64);
+        self.recorder
+            .add(Counter::StoreBlocksWritten, meta.blocks);
+        self.recorder.observe(Hist::StoreSegmentEvents, meta.events);
+        self.segments = vec![meta];
+        self.save_manifest()?;
+        for file in &old {
+            let _ = fs::remove_file(self.dir.join(file));
+            self.recorder.inc(Counter::StoreSegmentsPruned);
+        }
+        Ok(CompactionReport {
+            merged_segments: old.len(),
+            events: merged.len() as u64,
+            reports: reports.len() as u64,
+            dropped_reports: (total_reports - reports.len()) as u64,
+        })
+    }
+}
+
+fn scan_segment(
+    dir: &Path,
+    name: &str,
+    recorder: &dyn Recorder,
+    report: &mut RecoveryReport,
+) -> Result<SegmentMeta, StoreError> {
+    let path = dir.join(name);
+    let bytes = fs::read(&path)?;
+    let (blocks, valid) = segment::scan_blocks(&bytes);
+    if valid < bytes.len() {
+        let torn = (bytes.len() - valid) as u64;
+        report.torn_bytes += torn;
+        report.truncated_segments += 1;
+        recorder.add(Counter::StoreTornBytes, torn);
+        let f = OpenOptions::new().write(true).open(&path)?;
+        f.set_len(valid as u64)?;
+        f.sync_all()?;
+    }
+    let mut meta = SegmentMeta {
+        file: name.to_string(),
+        committed_len: valid as u64,
+        blocks: blocks.len() as u64,
+        events: 0,
+        reports: 0,
+        stats: SegmentStats::default(),
+    };
+    for block in &blocks {
+        match block {
+            Block::Events(rows) => {
+                meta.events += rows.len() as u64;
+                for (rec, ts) in rows {
+                    meta.stats.note_packet(rec.packet());
+                    meta.stats.note_ts(*ts);
+                }
+            }
+            Block::Reports(rows) => {
+                meta.reports += rows.len() as u64;
+                for r in rows {
+                    meta.stats.note_packet(r.packet);
+                }
+            }
+        }
+    }
+    Ok(meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eventlog::{Event, EventKind, TS_NONE};
+    use netsim::NodeId;
+    use std::path::PathBuf;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> TempDir {
+            let dir = std::env::temp_dir().join(format!(
+                "refill-store-{tag}-{}-{:x}",
+                std::process::id(),
+                &dir_nonce()
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn dir_nonce() -> u64 {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        N.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn rows(origin: u16, n: u32) -> Vec<(PackedEvent, u64)> {
+        (0..n)
+            .map(|i| {
+                let p = eventlog::PacketId::new(NodeId(origin), i);
+                let e = Event::new(NodeId(origin), EventKind::Origin, p);
+                let ts = if i % 4 == 0 { TS_NONE } else { u64::from(i) * 100 };
+                (PackedEvent::pack(&e), ts)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn append_sync_reopen_roundtrip() {
+        let tmp = TempDir::new("roundtrip");
+        let all = rows(3, 20);
+        {
+            let (mut store, rep) = SegmentStore::open(&tmp.0).unwrap();
+            assert_eq!(rep, RecoveryReport::default());
+            store.append_events(&all[..12]).unwrap();
+            store.append_events(&all[12..]).unwrap();
+            store.sync().unwrap();
+        }
+        let (store, rep) = SegmentStore::open(&tmp.0).unwrap();
+        assert_eq!(rep.events, 20);
+        assert_eq!(rep.torn_bytes, 0);
+        assert_eq!(store.events().unwrap(), all);
+    }
+
+    #[test]
+    fn rolling_splits_segments_and_keeps_order() {
+        let tmp = TempDir::new("rolling");
+        let all = rows(5, 40);
+        {
+            let (store, _) = SegmentStore::open(&tmp.0).unwrap();
+            let mut store = store.with_roll_bytes(256);
+            for chunk in all.chunks(8) {
+                store.append_events(chunk).unwrap();
+            }
+            store.sync().unwrap();
+            assert!(store.segments().len() > 1, "tiny roll threshold must split");
+        }
+        let (store, rep) = SegmentStore::open(&tmp.0).unwrap();
+        assert!(rep.segments > 1);
+        assert_eq!(store.events().unwrap(), all);
+    }
+
+    #[test]
+    fn unlisted_files_are_pruned_and_lost_manifest_adopts() {
+        let tmp = TempDir::new("prune-adopt");
+        let all = rows(2, 10);
+        {
+            let (mut store, _) = SegmentStore::open(&tmp.0).unwrap();
+            store.append_events(&all).unwrap();
+            store.sync().unwrap();
+        }
+        // An unlisted file (e.g. a crashed compaction's output) is pruned.
+        std::fs::write(tmp.0.join("seg-009999.refill"), segment::encode_events(&rows(9, 3)))
+            .unwrap();
+        let (store, rep) = SegmentStore::open(&tmp.0).unwrap();
+        assert_eq!(rep.pruned_files, 1);
+        assert_eq!(store.events().unwrap(), all);
+        assert!(!tmp.0.join("seg-009999.refill").exists());
+        // Without a manifest, on-disk segments are adopted instead.
+        std::fs::remove_file(tmp.0.join(crate::manifest::MANIFEST_FILE)).unwrap();
+        let (store, rep) = SegmentStore::open(&tmp.0).unwrap();
+        assert_eq!(rep.adopted_segments, 1);
+        assert_eq!(store.events().unwrap(), all);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let tmp = TempDir::new("torn");
+        let all = rows(4, 16);
+        {
+            let (mut store, _) = SegmentStore::open(&tmp.0).unwrap();
+            store.append_events(&all[..8]).unwrap();
+            store.sync().unwrap();
+        }
+        // Simulate a crash mid-append: garbage after the valid prefix.
+        let seg = tmp.0.join("seg-000001.refill");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let valid = bytes.len();
+        bytes.extend_from_slice(&segment::encode_events(&all[8..])[..10]);
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let (mut store, rep) = SegmentStore::open(&tmp.0).unwrap();
+        assert_eq!(rep.truncated_segments, 1);
+        assert_eq!(rep.torn_bytes, 10);
+        assert_eq!(std::fs::metadata(&seg).unwrap().len() as usize, valid);
+        assert_eq!(store.events().unwrap(), all[..8]);
+        // The store keeps working after recovery.
+        store.append_events(&all[8..]).unwrap();
+        store.sync().unwrap();
+        assert_eq!(store.events().unwrap(), all);
+    }
+
+    #[test]
+    fn compaction_preserves_events_and_latest_reports() {
+        let tmp = TempDir::new("compact");
+        let (store, _) = SegmentStore::open(&tmp.0).unwrap();
+        let mut store = store.with_roll_bytes(200);
+        let a = rows(1, 10);
+        let b = rows(2, 10);
+        store.append_events(&a).unwrap();
+        store.append_events(&b).unwrap();
+        store.sync().unwrap();
+        assert!(store.segments().len() > 1);
+        let mut before_events = store.events().unwrap();
+        let rep = store.compact().unwrap();
+        assert!(rep.merged_segments > 1);
+        assert_eq!(store.segments().len(), 1);
+        let mut after_events = store.events().unwrap();
+        // The merge is multiset-preserving; compare sorted.
+        let key = |(r, t): &(PackedEvent, u64)| (r.packet_key(), r.to_bytes(), *t);
+        before_events.sort_by_key(key);
+        after_events.sort_by_key(key);
+        assert_eq!(before_events, after_events);
+        // Reopen sees exactly the compacted store.
+        drop(store);
+        let (store, rep) = SegmentStore::open(&tmp.0).unwrap();
+        assert_eq!(rep.segments, 1);
+        assert_eq!(rep.events, 20);
+        assert_eq!(store.events().unwrap().len(), 20);
+    }
+}

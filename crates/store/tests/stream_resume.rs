@@ -1,0 +1,272 @@
+//! Checkpointed streaming: a `refill stream --store` run killed at any
+//! record boundary resumes from the store's durable prefix and finishes
+//! with reports byte-identical to an uninterrupted run (which is itself
+//! byte-identical to batch reconstruction).
+
+use eventlog::frame::{encode_records, NodeRecord};
+use eventlog::logger::{LocalLog, LogEntry};
+use eventlog::merge::merge_logs;
+use eventlog::watermark::Lateness;
+use eventlog::{Event, EventKind, PacketId, TS_NONE};
+use netsim::NodeId;
+use proptest::prelude::*;
+use refill::{CtpVocabulary, PacketReport, Reconstructor};
+use refill_store::{SegmentStore, StoreCheckpoint};
+use refill_stream::{
+    run_stream, run_stream_checkpointed, CheckpointSink, DriverConfig, StreamConfig,
+    StreamReconstructor,
+};
+use std::io::Cursor;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NONCE: AtomicU64 = AtomicU64::new(0);
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new() -> TempDir {
+        let dir = std::env::temp_dir().join(format!(
+            "refill-store-resume-{}-{}",
+            std::process::id(),
+            NONCE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn n(i: u16) -> NodeId {
+    NodeId(i)
+}
+
+fn recon() -> Reconstructor {
+    Reconstructor::new(CtpVocabulary::table2())
+}
+
+fn stream_config() -> StreamConfig {
+    StreamConfig {
+        lane_capacity: 4,
+        lateness: Lateness {
+            records: 2,
+            micros: 20_000,
+        },
+    }
+}
+
+fn driver_config() -> DriverConfig {
+    DriverConfig {
+        chunk_bytes: 64,
+        channel_batches: 2,
+        poll_every: 3,
+        drain_batches: 0,
+    }
+}
+
+/// A small day: packets flow 1 -> 2 -> 3, interleaved round-robin across
+/// the three nodes' logs, with node 2 logging no timestamps.
+fn day_records(packets: u32) -> (Vec<LocalLog>, Vec<NodeRecord>) {
+    let mut logs: Vec<LocalLog> = (1u16..=3)
+        .map(|i| LocalLog {
+            node: n(i),
+            entries: Vec::new(),
+        })
+        .collect();
+    for seq in 0..packets {
+        let p = PacketId::new(n(1), seq);
+        let ts = u64::from(seq) * 10_000;
+        logs[0].entries.push(LogEntry {
+            event: Event::new(n(1), EventKind::Trans { to: n(2) }, p),
+            local_ts: Some(ts),
+        });
+        if seq % 3 != 1 {
+            logs[0].entries.push(LogEntry {
+                event: Event::new(n(1), EventKind::AckRecvd { to: n(2) }, p),
+                local_ts: Some(ts + 5),
+            });
+        }
+        if seq % 4 != 2 {
+            logs[1].entries.push(LogEntry {
+                event: Event::new(n(2), EventKind::Recv { from: n(1) }, p),
+                local_ts: None,
+            });
+            logs[1].entries.push(LogEntry {
+                event: Event::new(n(2), EventKind::Trans { to: n(3) }, p),
+                local_ts: None,
+            });
+            logs[2].entries.push(LogEntry {
+                event: Event::new(n(3), EventKind::Recv { from: n(2) }, p),
+                local_ts: Some(ts + 777),
+            });
+        }
+    }
+    let mut records = Vec::new();
+    let mut idx = [0usize; 3];
+    loop {
+        let mut progressed = false;
+        for lane in 0..3 {
+            if idx[lane] < logs[lane].entries.len() {
+                records.push(NodeRecord::new(logs[lane].node, logs[lane].entries[idx[lane]]));
+                idx[lane] += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    (logs, records)
+}
+
+fn rehydrated_sorted(store: &SegmentStore) -> Vec<PacketReport> {
+    store
+        .latest_reports()
+        .unwrap()
+        .iter()
+        .map(|row| row.report())
+        .collect()
+}
+
+fn sorted_by_packet(mut reports: Vec<PacketReport>) -> Vec<PacketReport> {
+    reports.sort_by_key(|r| r.packet);
+    reports
+}
+
+#[test]
+fn checkpointed_run_matches_plain_run_and_store_holds_everything() {
+    let (logs, records) = day_records(8);
+    let bytes = encode_records(records.iter());
+
+    let mut plain = StreamReconstructor::with_config(recon(), stream_config());
+    let plain_summary =
+        run_stream(Cursor::new(&bytes), &mut plain, driver_config(), |_| {}).unwrap();
+
+    let tmp = TempDir::new();
+    let (store, _) = SegmentStore::open(&tmp.0).unwrap();
+    let mut ckpt = StoreCheckpoint::new(store);
+    let mut stream = StreamReconstructor::with_config(recon(), stream_config());
+    let summary = run_stream_checkpointed(
+        Cursor::new(&bytes),
+        &mut stream,
+        driver_config(),
+        |_| {},
+        &mut ckpt,
+    )
+    .unwrap();
+    let store = ckpt.finish().unwrap();
+
+    assert_eq!(summary.reports, plain_summary.reports);
+    assert_eq!(
+        summary.reports,
+        recon().reconstruct_log(&merge_logs(&logs)),
+        "checkpointing must not disturb the streaming/batch contract"
+    );
+
+    // The store holds the entire absorbed record sequence, in order, with
+    // timestamps preserved (TS_NONE for node 2's untimed entries).
+    let rows = store.events().unwrap();
+    assert_eq!(rows.len(), records.len());
+    for (row, rec) in rows.iter().zip(&records) {
+        assert_eq!(row.0.unpack(), rec.entry.event);
+        assert_eq!(row.1, rec.entry.local_ts.unwrap_or(TS_NONE));
+    }
+    // And its converged report view rehydrates to the final reports.
+    assert_eq!(
+        rehydrated_sorted(&store),
+        sorted_by_packet(summary.reports)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(24),
+        ..ProptestConfig::default()
+    })]
+
+    /// Kill a checkpointed run after `k` absorbed records (no final
+    /// flush, no final sync — only what report-emission syncs made
+    /// durable survives), then resume over the same input. The resumed
+    /// run's final reports are byte-identical to an uninterrupted run.
+    #[test]
+    fn killed_run_resumes_byte_identical(
+        packets in 1u32..10,
+        kill_frac in 0.0f64..=1.0,
+        cadence in 1usize..6,
+    ) {
+        let (logs, records) = day_records(packets);
+        let bytes = encode_records(records.iter());
+        let uninterrupted = recon().reconstruct_log(&merge_logs(&logs));
+        let k = (kill_frac * records.len() as f64).round() as usize;
+
+        let tmp = TempDir::new();
+
+        // Phase 1: the doomed run. Mirror the driver's hook order by
+        // hand so the "kill" can land between any two records.
+        {
+            let (store, _) = SegmentStore::open(&tmp.0).unwrap();
+            let mut ckpt = StoreCheckpoint::new(store);
+            let mut stream = StreamReconstructor::with_config(recon(), stream_config());
+            for (i, rec) in records[..k].iter().enumerate() {
+                ckpt.on_record(rec).unwrap();
+                stream.ingest(*rec);
+                if (i + 1) % cadence == 0 {
+                    let emitted = stream.poll();
+                    if !emitted.is_empty() {
+                        ckpt.on_reports(&emitted).unwrap();
+                        CheckpointSink::sync(&mut ckpt).unwrap();
+                    }
+                }
+            }
+            // Killed here: ckpt dropped without finish(); buffered rows
+            // since the last sync are lost, as in a real crash.
+        }
+
+        // Phase 2: resume. Replay the durable prefix into a fresh
+        // reconstructor, then drive the full input again.
+        let (store, _) = SegmentStore::open(&tmp.0).unwrap();
+        let mut ckpt = StoreCheckpoint::new(store);
+        let durable = ckpt.store().total_events();
+        prop_assert!(durable <= k as u64, "store cannot hold unabsorbed records");
+        let mut stream = StreamReconstructor::with_config(recon(), stream_config());
+        for rec in ckpt.resume_records().unwrap() {
+            stream.ingest(rec);
+        }
+        let summary = run_stream_checkpointed(
+            Cursor::new(&bytes),
+            &mut stream,
+            driver_config(),
+            |_| {},
+            &mut ckpt,
+        )
+        .unwrap();
+        let store = ckpt.finish().unwrap();
+
+        prop_assert_eq!(&summary.reports, &uninterrupted);
+        prop_assert_eq!(
+            format!("{:#?}", &summary.reports),
+            format!("{uninterrupted:#?}")
+        );
+
+        // The resumed store converges to the full record sequence too.
+        let rows = store.events().unwrap();
+        prop_assert_eq!(rows.len(), records.len());
+        for (row, rec) in rows.iter().zip(&records) {
+            prop_assert_eq!(row.0.unpack(), rec.entry.event);
+            prop_assert_eq!(row.1, rec.entry.local_ts.unwrap_or(TS_NONE));
+        }
+        prop_assert_eq!(
+            rehydrated_sorted(&store),
+            sorted_by_packet(summary.reports)
+        );
+    }
+}

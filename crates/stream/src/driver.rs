@@ -73,6 +73,37 @@ pub struct StreamSummary {
     pub reports: Vec<PacketReport>,
 }
 
+/// Durability hooks for checkpointed runs ([`run_stream_checkpointed`]).
+///
+/// The driver calls `on_record` for every record it absorbs (in absorption
+/// order), `on_reports` for every emitted report batch (window closes and
+/// the final flush), and `sync` at each durability point — after every
+/// report-emitting poll and once after the final flush. Implementations
+/// own the ordering discipline: a `sync` must make every record passed so
+/// far durable *before* the reports derived from them, so a crash can
+/// never leave reports whose evidence was lost.
+///
+/// `skip_records` supports resumption: the first `skip_records()` decoded
+/// records are dropped on the floor (the caller already replayed their
+/// durable copies into the stream), and the hooks only see what comes
+/// after. The final reports still converge to the batch answer over the
+/// full record sequence because [`StreamReconstructor::finish`] is
+/// cadence-independent.
+pub trait CheckpointSink {
+    /// Records already durable from a previous run; the driver skips this
+    /// many decoded records instead of re-ingesting them.
+    fn skip_records(&self) -> u64 {
+        0
+    }
+    /// A record was absorbed into the stream.
+    fn on_record(&mut self, rec: &NodeRecord) -> std::io::Result<()>;
+    /// Reports were emitted (mid-stream window closes, or the final
+    /// converged set after the flush).
+    fn on_reports(&mut self, reports: &[PacketReport]) -> std::io::Result<()>;
+    /// Make everything passed so far durable.
+    fn sync(&mut self) -> std::io::Result<()>;
+}
+
 /// Run framed bytes from `reader` through `stream` to completion.
 ///
 /// `on_report` fires for every report emitted by a mid-stream window close
@@ -90,7 +121,33 @@ where
     R: Read + Send,
     F: FnMut(&PacketReport),
 {
-    run_stream_metered(reader, stream, config, on_report, None, |_| {})
+    run_stream_inner(reader, stream, config, on_report, None, |_| {}, None)
+}
+
+/// [`run_stream`] with a durable checkpoint: every absorbed record and
+/// every emitted report flows into `checkpoint`, with `sync` called at
+/// each emission point, so a killed run leaves a durable prefix a resumed
+/// run can replay (see [`CheckpointSink`]).
+pub fn run_stream_checkpointed<R, F>(
+    reader: R,
+    stream: &mut StreamReconstructor,
+    config: DriverConfig,
+    on_report: F,
+    checkpoint: &mut dyn CheckpointSink,
+) -> std::io::Result<StreamSummary>
+where
+    R: Read + Send,
+    F: FnMut(&PacketReport),
+{
+    run_stream_inner(
+        reader,
+        stream,
+        config,
+        on_report,
+        None,
+        |_| {},
+        Some(checkpoint),
+    )
 }
 
 /// [`run_stream`] with periodic metrics export: every `metrics_every`
@@ -108,9 +165,26 @@ pub fn run_stream_metered<R, F, M>(
     reader: R,
     stream: &mut StreamReconstructor,
     config: DriverConfig,
+    on_report: F,
+    metrics_every: Option<u64>,
+    on_metrics: M,
+) -> std::io::Result<StreamSummary>
+where
+    R: Read + Send,
+    F: FnMut(&PacketReport),
+    M: FnMut(&TelemetrySnapshot),
+{
+    run_stream_inner(reader, stream, config, on_report, metrics_every, on_metrics, None)
+}
+
+fn run_stream_inner<R, F, M>(
+    reader: R,
+    stream: &mut StreamReconstructor,
+    config: DriverConfig,
     mut on_report: F,
     metrics_every: Option<u64>,
     mut on_metrics: M,
+    mut checkpoint: Option<&mut dyn CheckpointSink>,
 ) -> std::io::Result<StreamSummary>
 where
     R: Read + Send,
@@ -127,6 +201,8 @@ where
     let mut rolling_reports = 0u64;
     let mut frames = FrameStats::default();
     let mut read_error: Option<std::io::Error> = None;
+    let mut ckpt_error: Option<std::io::Error> = None;
+    let mut to_skip = checkpoint.as_ref().map_or(0, |c| c.skip_records());
 
     crossbeam::thread::scope(|scope| {
         let ingest = scope.spawn(move |_| -> std::io::Result<FrameStats> {
@@ -164,7 +240,7 @@ where
         });
 
         let mut since_poll = 0usize;
-        while let Ok(mut wave) = rx.recv() {
+        'waves: while let Ok(mut wave) = rx.recv() {
             // Wave drain: scoop whatever the ingest worker already queued
             // (bounded, non-blocking) so one reconstruction pass absorbs a
             // larger contiguous run of records. Poll cadence stays pinned
@@ -178,11 +254,34 @@ where
                 }
             }
             for rec in wave {
+                if to_skip > 0 {
+                    // Already durable from the interrupted run; the caller
+                    // replayed it into the stream before we started.
+                    to_skip -= 1;
+                    continue;
+                }
+                if let Some(ckpt) = checkpoint.as_deref_mut() {
+                    if let Err(e) = ckpt.on_record(&rec) {
+                        ckpt_error = Some(e);
+                        break 'waves;
+                    }
+                }
                 stream.ingest(rec);
                 since_poll += 1;
                 if since_poll >= poll_every {
                     since_poll = 0;
-                    for report in stream.poll() {
+                    let emitted = stream.poll();
+                    if !emitted.is_empty() {
+                        if let Some(ckpt) = checkpoint.as_deref_mut() {
+                            let flushed =
+                                ckpt.on_reports(&emitted).and_then(|()| ckpt.sync());
+                            if let Err(e) = flushed {
+                                ckpt_error = Some(e);
+                                break 'waves;
+                            }
+                        }
+                    }
+                    for report in emitted {
                         rolling_reports += 1;
                         on_report(&report);
                     }
@@ -198,6 +297,12 @@ where
                 }
             }
         }
+        // A checkpoint failure abandons the channel; unblock the ingest
+        // worker by draining whatever it still has queued.
+        if ckpt_error.is_some() {
+            while rx.try_recv().is_ok() {}
+            drop(rx);
+        }
         match ingest.join().expect("ingest worker does not panic") {
             Ok(stats) => frames = stats,
             Err(e) => read_error = Some(e),
@@ -206,6 +311,15 @@ where
     .expect("stream workers do not panic");
 
     let reports = stream.finish();
+    if ckpt_error.is_none() {
+        if let Some(ckpt) = checkpoint.as_deref_mut() {
+            // The converged final set — the durable store's last word on
+            // every packet, superseding any rolling emissions.
+            if let Err(e) = ckpt.on_reports(&reports).and_then(|()| ckpt.sync()) {
+                ckpt_error = Some(e);
+            }
+        }
+    }
     if metrics_every.is_some() {
         // The tail interval: whatever accumulated since the last cadence
         // emission, including the final flush's reconstruction work.
@@ -213,6 +327,9 @@ where
         on_metrics(&snap.diff(&prev_metrics));
     }
     if let Some(e) = read_error {
+        return Err(e);
+    }
+    if let Some(e) = ckpt_error {
         return Err(e);
     }
     Ok(StreamSummary {

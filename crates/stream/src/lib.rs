@@ -27,6 +27,9 @@ pub mod driver;
 pub mod reconstructor;
 pub mod replay;
 
-pub use driver::{run_stream, run_stream_metered, DriverConfig, StreamSummary};
+pub use driver::{
+    run_stream, run_stream_checkpointed, run_stream_metered, CheckpointSink, DriverConfig,
+    StreamSummary,
+};
 pub use reconstructor::{StreamConfig, StreamReconstructor, StreamStats};
 pub use replay::Replay;

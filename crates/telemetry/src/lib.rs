@@ -107,12 +107,25 @@ pub enum Counter {
     SchedBatches,
     /// Batches a worker stole from another worker's deque.
     SchedSteals,
+    /// CRC-checked blocks written to durable store segments.
+    StoreBlocksWritten,
+    /// Bytes written to durable store segments (headers + payloads + CRCs).
+    StoreBytesWritten,
+    /// Event rows appended to the durable store.
+    StoreEventsAppended,
+    /// Report rows appended to the durable store.
+    StoreReportsAppended,
+    /// Torn-tail bytes truncated during store recovery (bytes past the
+    /// last valid block boundary of a segment).
+    StoreTornBytes,
+    /// Segments skipped by a query's min/max predicate pushdown.
+    StoreSegmentsPruned,
 }
 
 impl Counter {
     /// Every counter, in declaration order (the array layout of
     /// [`AtomicRecorder`]).
-    pub const ALL: [Counter; 33] = [
+    pub const ALL: [Counter; 39] = [
         Counter::CacheHits,
         Counter::CacheMisses,
         Counter::CacheInserts,
@@ -146,6 +159,12 @@ impl Counter {
         Counter::ArenaGrows,
         Counter::SchedBatches,
         Counter::SchedSteals,
+        Counter::StoreBlocksWritten,
+        Counter::StoreBytesWritten,
+        Counter::StoreEventsAppended,
+        Counter::StoreReportsAppended,
+        Counter::StoreTornBytes,
+        Counter::StoreSegmentsPruned,
     ];
 
     /// Number of counters.
@@ -187,6 +206,12 @@ impl Counter {
             Counter::ArenaGrows => "arena_grows",
             Counter::SchedBatches => "sched_batches",
             Counter::SchedSteals => "sched_steals",
+            Counter::StoreBlocksWritten => "store_blocks_written",
+            Counter::StoreBytesWritten => "store_bytes_written",
+            Counter::StoreEventsAppended => "store_events_appended",
+            Counter::StoreReportsAppended => "store_reports_appended",
+            Counter::StoreTornBytes => "store_torn_bytes_truncated",
+            Counter::StoreSegmentsPruned => "store_segments_pruned",
         }
     }
 
@@ -239,11 +264,23 @@ pub enum Stage {
     /// Size-aware batch planning over the columnar range table, ahead of
     /// the work-stealing drive.
     Schedule,
+    /// Durable-store appends: block encode, segment write, fsync, and the
+    /// atomic manifest update.
+    StoreAppend,
+    /// Durable-store open-time recovery: block-by-block segment scan,
+    /// torn-tail truncation, and manifest reconciliation.
+    StoreRecover,
+    /// Durable-store query scans (pushdown check + block decode + row
+    /// filter).
+    StoreQuery,
+    /// Durable-store compaction: k-way merge of segment runs into one
+    /// sorted segment.
+    StoreCompact,
 }
 
 impl Stage {
     /// Every stage, in declaration order.
-    pub const ALL: [Stage; 14] = [
+    pub const ALL: [Stage; 18] = [
         Stage::Merge,
         Stage::MergePartition,
         Stage::Index,
@@ -258,6 +295,10 @@ impl Stage {
         Stage::Window,
         Stage::Pack,
         Stage::Schedule,
+        Stage::StoreAppend,
+        Stage::StoreRecover,
+        Stage::StoreQuery,
+        Stage::StoreCompact,
     ];
 
     /// Number of stages.
@@ -280,6 +321,10 @@ impl Stage {
             Stage::Window => "window",
             Stage::Pack => "pack",
             Stage::Schedule => "schedule",
+            Stage::StoreAppend => "store_append",
+            Stage::StoreRecover => "store_recover",
+            Stage::StoreQuery => "store_query",
+            Stage::StoreCompact => "store_compact",
         }
     }
 
@@ -319,11 +364,15 @@ pub enum Hist {
     /// Events per planned scheduler batch (the quantity the planner
     /// actually balances; compare against `batch_packets` for skew).
     BatchEvents,
+    /// Payload bytes per durable-store block written.
+    StoreBlockBytes,
+    /// Event rows per sealed durable-store segment.
+    StoreSegmentEvents,
 }
 
 impl Hist {
     /// Every histogram, in declaration order.
-    pub const ALL: [Hist; 11] = [
+    pub const ALL: [Hist; 13] = [
         Hist::GroupEvents,
         Hist::FlowEntries,
         Hist::NodeLogEvents,
@@ -335,6 +384,8 @@ impl Hist {
         Hist::WindowEvents,
         Hist::BatchPackets,
         Hist::BatchEvents,
+        Hist::StoreBlockBytes,
+        Hist::StoreSegmentEvents,
     ];
 
     /// Number of histograms.
@@ -354,6 +405,8 @@ impl Hist {
             Hist::WindowEvents => "window_events",
             Hist::BatchPackets => "batch_packets",
             Hist::BatchEvents => "batch_events",
+            Hist::StoreBlockBytes => "store_block_bytes",
+            Hist::StoreSegmentEvents => "store_segment_events",
         }
     }
 
