@@ -36,6 +36,8 @@ USAGE:
   refill query    --store DIR [--origin N] [--seqno LO:HI] [--since US] [--until US]
                   [--cause LABEL] [--disposition observed|intra|inter]
                   [--fig fig4|fig5|fig8] [--stats]
+  refill soak     [--seed N] [--cases N] [--faults SPEC] [--quiet]
+                  [--telemetry FILE] [--prometheus FILE]
   refill help
 
   stream reconstructs online: framed records (eventlog::frame wire format)
@@ -73,7 +75,17 @@ USAGE:
   the stored sidecars, byte-identical to the in-memory analysis.
   stream --store DIR appends every absorbed record and emitted report to
   a store as it runs; re-running after a kill resumes from the durable
-  prefix and converges to the same reports as an uninterrupted run.";
+  prefix and converges to the same reports as an uninterrupted run.
+  soak runs seeded fault-injection conformance cases: each case pushes
+  one synthetic scenario through all seven driver paths (sequential,
+  rayon, crossbeam, fused, cached x2, streaming, store kill-and-resume)
+  under injected frame corruption, reader failures and filesystem faults,
+  asserting byte-identical reports everywhere. --faults takes a preset
+  (none|light|heavy) and/or key=value rates (frame, truncate, garbage,
+  reader, stall, store, sync, rename, skew, dup, late). Every case's
+  derived seed is echoed; any failure prints a single-case reproduction
+  command. Fault totals surface as faults_injected / faults_survived in
+  the telemetry exposition.";
 
 /// Tiny flag parser: `--key value` pairs plus boolean `--key` switches.
 struct Flags {
@@ -1207,6 +1219,83 @@ pub fn query_cmd_inner(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// `refill soak`.
+pub fn soak(args: &[String]) -> Result<(), String> {
+    print!("{}", soak_cmd_inner(args)?);
+    Ok(())
+}
+
+/// `refill soak`, returning the printed output (testable): seeded
+/// fault-injection conformance cases across all seven driver paths. A
+/// divergence returns `Err` (nonzero exit) carrying every failure's
+/// standalone reproduction command.
+pub fn soak_cmd_inner(args: &[String]) -> Result<String, String> {
+    use refill_testkit::{run_soak, FaultSpec, SoakConfig};
+    use std::fmt::Write as _;
+
+    let flags = Flags::parse(args, &["quiet"])?;
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad seed"))
+        .transpose()?
+        .unwrap_or(1);
+    let cases: u32 = flags
+        .get("cases")
+        .map(|s| s.parse().map_err(|_| "bad cases"))
+        .transpose()?
+        .unwrap_or(64);
+    let spec = FaultSpec::parse(flags.get("faults").unwrap_or("light"))?;
+    let quiet = flags.has("quiet");
+    let recorder = recorder_for(&flags);
+    let noop = refill::telemetry::NoopRecorder;
+    let rec: &dyn Recorder = match &recorder {
+        Some(r) => &**r,
+        None => &noop,
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "soak: master seed {seed}, {cases} case(s), faults {}",
+        spec.render()
+    );
+    let config = SoakConfig { seed, cases, spec };
+    let report = run_soak(&config, rec, |case_seed, result| match result {
+        Ok(o) => {
+            if !quiet {
+                let _ = writeln!(
+                    out,
+                    "  seed {case_seed:>20}  converged  {:>4} records  {:>3} reports  {:>3} fault(s)",
+                    o.records_survived, o.reports, o.faults_injected
+                );
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(out, "  seed {case_seed:>20}  DIVERGED   [{}]", e.driver);
+        }
+    });
+    let _ = writeln!(
+        out,
+        "{}/{} case(s) converged, {} fault(s) injected and survived, {} record(s), {} report(s)",
+        report.converged, report.cases, report.faults_injected,
+        report.records_survived, report.reports
+    );
+    write_telemetry(&flags, &recorder)?;
+
+    if report.failures.is_empty() {
+        Ok(out)
+    } else {
+        for failure in &report.failures {
+            let _ = writeln!(out, "\n{failure}");
+        }
+        Err(format!(
+            "{out}\nsoak: {} of {} case(s) diverged",
+            report.failures.len(),
+            report.cases
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1590,6 +1679,48 @@ mod tests {
         ]))
         .is_err());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn soak_converges_and_echoes_replayable_seeds() {
+        let out = soak_cmd_inner(&args(&["--seed", "7", "--cases", "3", "--faults", "light"]))
+            .unwrap();
+        assert!(out.contains("soak: master seed 7, 3 case(s)"), "{out}");
+        assert!(out.contains("3/3 case(s) converged"), "{out}");
+        // One echoed seed line per case, each replayable standalone.
+        let case_lines: Vec<&str> = out
+            .lines()
+            .filter(|l| l.trim_start().starts_with("seed "))
+            .collect();
+        assert_eq!(case_lines.len(), 3, "{out}");
+        let first_seed = case_lines[0]
+            .split_whitespace()
+            .nth(1)
+            .unwrap()
+            .to_string();
+        let replay = soak_cmd_inner(&args(&[
+            "--seed", &first_seed, "--cases", "1", "--faults", "light",
+        ]))
+        .unwrap();
+        assert!(replay.contains("1/1 case(s) converged"), "{replay}");
+    }
+
+    #[test]
+    fn soak_quiet_keeps_only_the_summary() {
+        let out =
+            soak_cmd_inner(&args(&["--seed", "3", "--cases", "2", "--quiet"])).unwrap();
+        assert!(out.contains("2/2 case(s) converged"), "{out}");
+        assert!(
+            !out.lines().any(|l| l.trim_start().starts_with("seed ")),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn soak_rejects_bad_inputs() {
+        assert!(soak_cmd_inner(&args(&["--faults", "bogus=1"])).is_err());
+        assert!(soak_cmd_inner(&args(&["--seed", "x"])).is_err());
+        assert!(soak_cmd_inner(&args(&["--cases", "-1"])).is_err());
     }
 
     #[test]

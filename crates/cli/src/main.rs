@@ -43,6 +43,13 @@
 //!     cause, provenance disposition) over a store without re-running
 //!     reconstruction, using per-segment min/max pushdown — or render a
 //!     figure CSV straight from the stored sidecars.
+//!
+//! refill soak [--seed N] [--cases N] [--faults SPEC]
+//!     Seeded fault-injection conformance: push synthetic scenarios
+//!     through all seven driver paths under injected frame corruption,
+//!     reader failures and store filesystem faults, asserting
+//!     byte-identical reports everywhere. Every case seed is echoed and
+//!     every failure prints a standalone reproduction command.
 //! ```
 //!
 //! The archive format is the `eventlog::archive` JSON-lines format, so logs
@@ -71,6 +78,7 @@ fn main() -> ExitCode {
         "stream" => cmd::stream(&rest),
         "store" => cmd::store(&rest),
         "query" => cmd::query(&rest),
+        "soak" => cmd::soak(&rest),
         "help" | "--help" | "-h" => {
             println!("{}", cmd::USAGE);
             Ok(())

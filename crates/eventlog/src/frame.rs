@@ -451,6 +451,56 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_run_spanning_chunk_boundary_counts_once() {
+        // Regression: a maximal corrupt run — two adjacent damaged frames
+        // with garbage between them — must count as ONE run however the
+        // bytes are chunked, including chunk sizes that split the run
+        // across push() boundaries. The skipping flag clears only on a
+        // successful decode, never at a chunk edge.
+        let records = sample_records();
+        let mut bytes = Vec::new();
+        encode_record(&records[0], &mut bytes);
+        let run_start = bytes.len();
+        let mut damaged = Vec::new();
+        encode_record(&records[1], &mut damaged);
+        let flip = damaged.len() - 1;
+        damaged[flip] ^= 0x01; // CRC byte: frame 1 of the run fails
+        bytes.extend_from_slice(&damaged);
+        bytes.extend_from_slice(b"mid-run garbage");
+        let mut damaged = Vec::new();
+        encode_record(&records[2], &mut damaged);
+        damaged[FRAME_HEADER_LEN] ^= 0x80; // payload byte: frame 2 fails too
+        bytes.extend_from_slice(&damaged);
+        let run_end = bytes.len();
+        encode_record(&records[3], &mut bytes);
+
+        let expected = vec![records[0], records[3]];
+        let (back, stats) = decode_all(&bytes);
+        assert_eq!(back, expected);
+        // The pinned accounting: two clean frames, one maximal run.
+        assert_eq!(stats, FrameStats { decoded: 2, corrupt: 1 });
+
+        // Every chunking — including splits inside the corrupt run —
+        // lands on identical records AND identical run accounting.
+        let mid_run = (run_start + run_end) / 2;
+        for chunk in [1usize, 2, 3, 5, mid_run, run_start, run_end, 64] {
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            for piece in bytes.chunks(chunk.max(1)) {
+                dec.push(piece);
+                got.extend(dec.drain());
+            }
+            let chunked = dec.finish();
+            assert_eq!(got, expected, "chunk size {chunk}");
+            assert_eq!(
+                chunked,
+                FrameStats { decoded: 2, corrupt: 1 },
+                "chunk size {chunk}: a run split across a boundary double-counted"
+            );
+        }
+    }
+
+    #[test]
     fn garbage_between_frames_is_counted_once_and_skipped() {
         let records = sample_records();
         let mut bytes = Vec::new();

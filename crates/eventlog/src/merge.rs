@@ -777,6 +777,46 @@ mod tests {
     }
 
     #[test]
+    fn round_robin_staggered_exhaustion_matches_reference() {
+        // Logs draining at very different rates: lengths 1, 5, 0, 3, 9 —
+        // every pass of the rotation loses a different member, including
+        // ones in the *middle* of the active vector (the retain_mut
+        // compaction path), and the member that was empty from the start
+        // never enters the rotation. The emitted order must still match
+        // the all-K rescan reference byte for byte.
+        let lens = [1usize, 5, 0, 3, 9];
+        let logs: Vec<LocalLog> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                LocalLog::from_events(
+                    NodeId(i as u16 + 1),
+                    (0..len as u32).map(|s| ev(i as u16 + 1, s)).collect(),
+                )
+            })
+            .collect();
+        let merged = merge_logs(&logs);
+        assert_eq!(merged.len(), lens.iter().sum::<usize>());
+        assert_eq!(merged.events, merge_round_robin_reference(&logs));
+        // Per-log order survives the compaction (the merge invariant).
+        for log in &logs {
+            let seqs: Vec<u32> = merged
+                .events
+                .iter()
+                .filter(|e| e.node == log.node)
+                .map(|e| e.packet.seqno)
+                .collect();
+            assert_eq!(seqs, (0..log.len() as u32).collect::<Vec<_>>());
+        }
+        // After the deepest log is alone, its tail streams contiguously.
+        let tail: Vec<(u16, u32)> = merged.events[merged.len() - 4..]
+            .iter()
+            .map(|e| (e.node.0, e.packet.seqno))
+            .collect();
+        assert_eq!(tail, vec![(5, 5), (5, 6), (5, 7), (5, 8)]);
+    }
+
+    #[test]
     fn equal_ts_and_node_ties_break_by_cursor_order() {
         // Two logs claiming the same node and identical timestamps: the
         // earlier log in input order wins every tie. This pins the

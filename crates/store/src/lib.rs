@@ -27,6 +27,10 @@
 //! * [`checkpoint`] — [`StoreCheckpoint`]: a
 //!   [`refill_stream::CheckpointSink`] implementation so a killed
 //!   `refill stream` run resumes from the store's durable prefix.
+//! * [`vfs`] — the [`Vfs`]/[`VfsFile`] filesystem seam every store
+//!   operation goes through: [`OsVfs`] in production, fault-injecting
+//!   implementations (torn writes, fsync failures, rename failures) in
+//!   the `refill-testkit` conformance harness.
 //!
 //! ## Durability contract
 //!
@@ -45,6 +49,7 @@ pub mod query;
 pub mod row;
 pub mod segment;
 pub mod store;
+pub mod vfs;
 
 pub use checkpoint::StoreCheckpoint;
 pub use manifest::{Manifest, SegmentMeta, SegmentStats};
@@ -52,6 +57,7 @@ pub use query::{Query, QueryOutput, QueryStats};
 pub use row::{ReportRow, Sidecar};
 pub use segment::{Block, BlockKind};
 pub use store::{CompactionReport, RecoveryReport, SegmentStore};
+pub use vfs::{OsVfs, Vfs, VfsFile};
 
 /// Errors the store can produce.
 #[derive(Debug)]

@@ -12,11 +12,10 @@
 //! The stats are recomputed from the block scan at every recovery, so a
 //! stale manifest only ever costs extra scanning, never wrong answers.
 
+use crate::vfs::{OsVfs, Vfs};
 use crate::StoreError;
 use eventlog::{PacketId, TS_NONE};
 use serde::{Deserialize, Serialize};
-use std::fs::{self, File};
-use std::io::Write as _;
 use std::path::Path;
 
 /// The manifest file name inside a store directory.
@@ -127,8 +126,13 @@ impl Manifest {
     /// to "adopt whatever valid segments are on disk" rather than an
     /// error.
     pub fn load(dir: &Path) -> Result<Option<Manifest>, StoreError> {
+        Self::load_with(dir, &OsVfs)
+    }
+
+    /// [`Manifest::load`] through an explicit [`Vfs`].
+    pub fn load_with(dir: &Path, vfs: &dyn Vfs) -> Result<Option<Manifest>, StoreError> {
         let path = dir.join(MANIFEST_FILE);
-        let bytes = match fs::read(&path) {
+        let bytes = match vfs.read(&path) {
             Ok(b) => b,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
             Err(e) => return Err(StoreError::Io(e)),
@@ -138,22 +142,25 @@ impl Manifest {
 
     /// Persist the manifest atomically: tmp + fsync + rename + dir fsync.
     pub fn save(&self, dir: &Path) -> Result<(), StoreError> {
+        self.save_with(dir, &OsVfs)
+    }
+
+    /// [`Manifest::save`] through an explicit [`Vfs`].
+    pub fn save_with(&self, dir: &Path, vfs: &dyn Vfs) -> Result<(), StoreError> {
         let bytes = serde_json::to_vec_pretty(self).map_err(|e| StoreError::Codec {
             detail: format!("encoding manifest: {e}"),
         })?;
         let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
         {
-            let mut f = File::create(&tmp)?;
+            let mut f = vfs.create(&tmp)?;
             f.write_all(&bytes)?;
             f.sync_all()?;
         }
-        fs::rename(&tmp, dir.join(MANIFEST_FILE))?;
+        vfs.rename(&tmp, &dir.join(MANIFEST_FILE))?;
         // Make the rename itself durable. Directory fsync is
         // platform-sensitive; failure to open the directory is not fatal
         // on filesystems that disallow it.
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
-        }
+        let _ = vfs.sync_dir(dir);
         Ok(())
     }
 }

@@ -3,12 +3,11 @@
 use crate::manifest::{Manifest, SegmentMeta, SegmentStats, MANIFEST_VERSION};
 use crate::row::ReportRow;
 use crate::segment::{self, Block};
+use crate::vfs::{OsVfs, Vfs, VfsFile};
 use crate::StoreError;
 use eventlog::{merge_packed_runs, PackedEvent, PacketId};
 use refill_telemetry::{Counter, Hist, NoopRecorder, Recorder, Stage, StageTimer};
 use rustc_hash::{FxHashMap, FxHashSet};
-use std::fs::{self, File, OpenOptions};
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -65,10 +64,13 @@ pub struct SegmentStore {
     dir: PathBuf,
     segments: Vec<SegmentMeta>,
     /// Append handle for the last segment, opened lazily.
-    active: Option<File>,
+    active: Option<Box<dyn VfsFile>>,
     next_id: u64,
     roll_bytes: u64,
     recorder: Arc<dyn Recorder>,
+    /// The filesystem seam every operation goes through ([`OsVfs`] in
+    /// production; fault injectors in tests).
+    vfs: Arc<dyn Vfs>,
 }
 
 fn is_segment_file(name: &str) -> bool {
@@ -90,18 +92,25 @@ impl SegmentStore {
         dir: impl AsRef<Path>,
         recorder: Arc<dyn Recorder>,
     ) -> Result<(SegmentStore, RecoveryReport), StoreError> {
+        Self::open_with_vfs(dir, Arc::new(OsVfs), recorder)
+    }
+
+    /// [`SegmentStore::open`] through an explicit [`Vfs`] — the seam a
+    /// fault-injecting filesystem interposes on.
+    pub fn open_with_vfs(
+        dir: impl AsRef<Path>,
+        vfs: Arc<dyn Vfs>,
+        recorder: Arc<dyn Recorder>,
+    ) -> Result<(SegmentStore, RecoveryReport), StoreError> {
         let dir = dir.as_ref().to_path_buf();
-        fs::create_dir_all(&dir)?;
+        vfs.create_dir_all(&dir)?;
         let _span = StageTimer::start(&*recorder, Stage::StoreRecover);
-        let manifest = Manifest::load(&dir)?;
+        let manifest = Manifest::load_with(&dir, &*vfs)?;
 
         let mut on_disk: Vec<String> = Vec::new();
-        for entry in fs::read_dir(&dir)? {
-            let entry = entry?;
-            if let Some(name) = entry.file_name().to_str() {
-                if is_segment_file(name) {
-                    on_disk.push(name.to_string());
-                }
+        for name in vfs.read_dir(&dir)? {
+            if is_segment_file(&name) {
+                on_disk.push(name);
             }
         }
         on_disk.sort();
@@ -116,7 +125,7 @@ impl SegmentStore {
                     m.segments.iter().map(|s| s.file.as_str()).collect();
                 for name in &on_disk {
                     if !listed.contains(name.as_str()) {
-                        fs::remove_file(dir.join(name))?;
+                        vfs.remove_file(&dir.join(name))?;
                         report.pruned_files += 1;
                         recorder.inc(Counter::StoreSegmentsPruned);
                     }
@@ -141,7 +150,7 @@ impl SegmentStore {
 
         let mut segments = Vec::with_capacity(scan_list.len());
         for name in &scan_list {
-            let meta = scan_segment(&dir, name, &*recorder, &mut report)?;
+            let meta = scan_segment(&dir, name, &*vfs, &*recorder, &mut report)?;
             report.events += meta.events;
             report.reports += meta.reports;
             segments.push(meta);
@@ -160,6 +169,7 @@ impl SegmentStore {
             next_id,
             roll_bytes: DEFAULT_ROLL_BYTES,
             recorder,
+            vfs,
         };
         store.save_manifest()?;
         Ok((store, report))
@@ -200,7 +210,7 @@ impl SegmentStore {
             version: MANIFEST_VERSION,
             segments: self.segments.clone(),
         }
-        .save(&self.dir)
+        .save_with(&self.dir, &*self.vfs)
     }
 
     fn ensure_active(&mut self) -> Result<(), StoreError> {
@@ -214,7 +224,7 @@ impl SegmentStore {
         if !reuse {
             let name = format!("seg-{:06}.refill", self.next_id);
             self.next_id += 1;
-            File::create(self.dir.join(&name))?.sync_all()?;
+            self.vfs.create(&self.dir.join(&name))?.sync_all()?;
             self.segments.push(SegmentMeta {
                 file: name,
                 committed_len: 0,
@@ -229,9 +239,7 @@ impl SegmentStore {
             self.save_manifest()?;
         }
         let meta = self.segments.last().expect("ensure_active pushed a segment");
-        let file = OpenOptions::new()
-            .append(true)
-            .open(self.dir.join(&meta.file))?;
+        let file = self.vfs.open_append(&self.dir.join(&meta.file))?;
         self.active = Some(file);
         Ok(())
     }
@@ -306,7 +314,7 @@ impl SegmentStore {
     /// manifest atomically. Everything appended before a successful sync
     /// survives a crash.
     pub fn sync(&mut self) -> Result<(), StoreError> {
-        if let Some(f) = &self.active {
+        if let Some(f) = &mut self.active {
             f.sync_data()?;
         }
         self.save_manifest()
@@ -318,7 +326,7 @@ impl SegmentStore {
     /// decode failure *inside the committed region* is real corruption and
     /// surfaces as [`StoreError::Corrupt`] with the failing offset.
     pub fn read_segment(&self, meta: &SegmentMeta) -> Result<Vec<Block>, StoreError> {
-        let bytes = fs::read(self.dir.join(&meta.file))?;
+        let bytes = self.vfs.read(&self.dir.join(&meta.file))?;
         if (bytes.len() as u64) < meta.committed_len {
             return Err(StoreError::Corrupt {
                 file: meta.file.clone(),
@@ -456,7 +464,7 @@ impl SegmentStore {
         // leaves either the old store (new file unlisted → pruned at next
         // open) or the new one (old files unlisted → pruned).
         {
-            let mut f = File::create(self.dir.join(&name))?;
+            let mut f = self.vfs.create(&self.dir.join(&name))?;
             f.write_all(&out)?;
             f.sync_all()?;
         }
@@ -467,7 +475,7 @@ impl SegmentStore {
         self.segments = vec![meta];
         self.save_manifest()?;
         for file in &old {
-            let _ = fs::remove_file(self.dir.join(file));
+            let _ = self.vfs.remove_file(&self.dir.join(file));
             self.recorder.inc(Counter::StoreSegmentsPruned);
         }
         Ok(CompactionReport {
@@ -482,20 +490,19 @@ impl SegmentStore {
 fn scan_segment(
     dir: &Path,
     name: &str,
+    vfs: &dyn Vfs,
     recorder: &dyn Recorder,
     report: &mut RecoveryReport,
 ) -> Result<SegmentMeta, StoreError> {
     let path = dir.join(name);
-    let bytes = fs::read(&path)?;
+    let bytes = vfs.read(&path)?;
     let (blocks, valid) = segment::scan_blocks(&bytes);
     if valid < bytes.len() {
         let torn = (bytes.len() - valid) as u64;
         report.torn_bytes += torn;
         report.truncated_segments += 1;
         recorder.add(Counter::StoreTornBytes, torn);
-        let f = OpenOptions::new().write(true).open(&path)?;
-        f.set_len(valid as u64)?;
-        f.sync_all()?;
+        vfs.truncate(&path, valid as u64)?;
     }
     let mut meta = SegmentMeta {
         file: name.to_string(),

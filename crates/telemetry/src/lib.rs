@@ -120,12 +120,19 @@ pub enum Counter {
     StoreTornBytes,
     /// Segments skipped by a query's min/max predicate pushdown.
     StoreSegmentsPruned,
+    /// Faults the testkit harness injected into a pipeline run (frame
+    /// corruption, reader errors, torn writes, fsync failures, …).
+    FaultsInjected,
+    /// Injected faults the pipeline tolerated: the run either converged
+    /// byte-identically across drivers or surfaced a typed error and
+    /// recovered to the durable prefix.
+    FaultsSurvived,
 }
 
 impl Counter {
     /// Every counter, in declaration order (the array layout of
     /// [`AtomicRecorder`]).
-    pub const ALL: [Counter; 39] = [
+    pub const ALL: [Counter; 41] = [
         Counter::CacheHits,
         Counter::CacheMisses,
         Counter::CacheInserts,
@@ -165,6 +172,8 @@ impl Counter {
         Counter::StoreReportsAppended,
         Counter::StoreTornBytes,
         Counter::StoreSegmentsPruned,
+        Counter::FaultsInjected,
+        Counter::FaultsSurvived,
     ];
 
     /// Number of counters.
@@ -212,6 +221,8 @@ impl Counter {
             Counter::StoreReportsAppended => "store_reports_appended",
             Counter::StoreTornBytes => "store_torn_bytes_truncated",
             Counter::StoreSegmentsPruned => "store_segments_pruned",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::FaultsSurvived => "faults_survived",
         }
     }
 
